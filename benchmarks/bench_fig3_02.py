@@ -1,0 +1,16 @@
+"""Regenerates Fig. 3.2 (CGL vs CDL per ALU operation, STC & NTC)."""
+
+from repro.experiments.fig3_02 import run
+from repro.timing.choke import CDL_CATEGORIES
+
+
+def test_fig3_02(ctx, run_once):
+    result = run_once(run, ctx)
+    assert len(result.tables) == 2  # STC and NTC
+    for table in result.tables:
+        assert table.headers == ["op", *CDL_CATEGORIES, "events"]
+        assert len(table.rows) == 11
+    # NTC must surface at least as many choke events as STC overall
+    stc_events = sum(result.tables[0].column("events"))
+    ntc_events = sum(result.tables[1].column("events"))
+    assert ntc_events >= stc_events

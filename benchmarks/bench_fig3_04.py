@@ -1,0 +1,11 @@
+"""Regenerates Fig. 3.4 (errant vs error-free occurrences, vortex)."""
+
+from repro.experiments.fig3_04 import run
+
+
+def test_fig3_04(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    assert len(table.rows) == 8
+    for row in table.rows:
+        assert row[2] + row[3] == __import__("pytest").approx(100.0, abs=0.1)

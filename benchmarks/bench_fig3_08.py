@@ -1,0 +1,12 @@
+"""Regenerates Fig. 3.8 (DCS-ICSLT accuracy vs table size)."""
+
+from repro.experiments.fig3_08 import run
+
+
+def test_fig3_08(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    assert len(table.rows) == 6
+    for row in table.rows:
+        accuracies = row[1:]
+        assert all(b >= a - 1e-9 for a, b in zip(accuracies, accuracies[1:]))

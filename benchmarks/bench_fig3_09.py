@@ -1,0 +1,12 @@
+"""Regenerates Fig. 3.9 (DCS-ACSLT accuracy for four geometries)."""
+
+from repro.experiments.fig3_09 import run
+
+
+def test_fig3_09(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    assert table.headers == ["benchmark", "16/8", "16/16", "32/8", "32/16"]
+    for row in table.rows:
+        # the paper's chosen 32/16 geometry is never the worst
+        assert row[4] >= min(row[1:])

@@ -1,0 +1,11 @@
+"""Regenerates Fig. 3.10 (recovery penalty, Razor vs DCS)."""
+
+from repro.experiments.fig3_10 import run
+
+
+def test_fig3_10(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        assert row[2] <= 1.0 + 1e-9
+        assert row[3] <= 1.0 + 1e-9

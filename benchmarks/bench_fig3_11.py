@@ -1,0 +1,12 @@
+"""Regenerates Fig. 3.11 (performance of the Chapter-3 schemes)."""
+
+from repro.experiments.fig3_11 import run
+
+
+def test_fig3_11(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        benchmark, razor, hfg, icslt, acslt = row
+        assert razor == 1.0
+        assert max(icslt, acslt) >= 1.0 - 1e-9  # DCS never loses to Razor

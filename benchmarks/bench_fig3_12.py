@@ -1,0 +1,12 @@
+"""Regenerates Fig. 3.12 (energy efficiency of the Chapter-3 schemes)."""
+
+from repro.experiments.fig3_12 import run
+
+
+def test_fig3_12(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        benchmark, razor, hfg, icslt, acslt = row
+        assert razor == 1.0
+        assert all(v > 0 for v in (hfg, icslt, acslt))

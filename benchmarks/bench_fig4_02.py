@@ -1,0 +1,15 @@
+"""Regenerates Fig. 4.2 (path-delay variation, 4 configurations)."""
+
+from repro.experiments.fig4_02 import run
+
+
+def test_fig4_02(ctx, run_once):
+    result = run_once(run, ctx)
+    assert len(result.tables) == 4
+    by_title = {t.title.split(":")[0]: t for t in result.tables}
+    ntc_buf = by_title["NTC-Buffered"]
+    stc_buf = by_title["STC-Buffered"]
+    # NTC variation dominates STC: its worst max-ratio exceeds STC's
+    assert max(ntc_buf.column("max")) > max(stc_buf.column("max"))
+    # and the NTC min-path droop is deeper than STC's
+    assert min(ntc_buf.column("min")) < min(stc_buf.column("min")) + 1e-9

@@ -1,0 +1,13 @@
+"""Regenerates Fig. 4.3 (error/no-error occurrence distribution)."""
+
+import pytest
+
+from repro.experiments.fig4_03 import run
+
+
+def test_fig4_03(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    assert len(table.rows) == 8
+    for row in table.rows:
+        assert row[1] + row[2] + row[3] == pytest.approx(100.0, abs=0.2)

@@ -1,0 +1,13 @@
+"""Regenerates Fig. 4.4 (errors vs operand sizes)."""
+
+import pytest
+
+from repro.experiments.fig4_04 import run
+
+
+def test_fig4_04(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        if row[5] > 0:  # errors observed for the instruction
+            assert sum(row[1:5]) == pytest.approx(100.0, abs=0.2)

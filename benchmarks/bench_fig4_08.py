@@ -1,0 +1,16 @@
+"""Regenerates Fig. 4.8 (SE/CE distribution per benchmark)."""
+
+import pytest
+
+from repro.experiments.fig4_08 import run
+
+
+def test_fig4_08(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    assert len(table.rows) == 6
+    total_errors = sum(table.column("total_errors"))
+    assert total_errors > 0  # the ch4 reference chip must err
+    for row in table.rows:
+        if row[4] > 0:
+            assert row[1] + row[2] + row[3] == pytest.approx(100.0, abs=0.1)

@@ -1,0 +1,11 @@
+"""Regenerates Fig. 4.9 (Trident accuracy vs CET size)."""
+
+from repro.experiments.fig4_09 import run
+
+
+def test_fig4_09(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        accuracies = row[1:]
+        assert all(b >= a - 1e-9 for a, b in zip(accuracies, accuracies[1:]))

@@ -1,0 +1,10 @@
+"""Regenerates Fig. 4.11 (performance, Chapter-4 schemes)."""
+
+from repro.experiments.fig4_11 import run
+
+
+def test_fig4_11(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    trident = table.column("Trident")
+    assert sum(trident) / len(trident) > 1.0  # Trident beats Razor on average

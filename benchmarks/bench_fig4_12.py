@@ -1,0 +1,10 @@
+"""Regenerates Fig. 4.12 (energy efficiency, Chapter-4 schemes)."""
+
+from repro.experiments.fig4_12 import run
+
+
+def test_fig4_12(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    trident = table.column("Trident")
+    assert sum(trident) / len(trident) > 1.0

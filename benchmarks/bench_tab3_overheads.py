@@ -1,0 +1,13 @@
+"""Regenerates the Section 3.5.6 overheads table."""
+
+import pytest
+
+from repro.experiments.tab3_overheads import run
+
+
+def test_tab3_overheads(ctx, run_once):
+    result = run_once(run, ctx)
+    table = result.tables[0]
+    for row in table.rows:
+        gates, gates_paper = row[1], row[2]
+        assert gates == pytest.approx(gates_paper, rel=0.01)

@@ -1,0 +1,12 @@
+"""Regenerates the Section 4.5.7 Trident overheads table."""
+
+import pytest
+
+from repro.experiments.tab4_overheads import run
+
+
+def test_tab4_overheads(ctx, run_once):
+    result = run_once(run, ctx)
+    row = result.tables[0].rows[0]
+    area, area_paper = row[2], row[3]
+    assert area == pytest.approx(area_paper, abs=0.08)

@@ -1,0 +1,29 @@
+"""Shared context for the figure-regeneration benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's figures/tables at
+the scaled-down FAST configuration (16-bit ALU, 2 000-cycle traces, the
+FAST reference chips) and asserts the figure's expected *shape*.  The
+session-scoped context means later benchmarks reuse earlier timing runs,
+exactly as the full experiment CLI does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, FAST_CONFIG
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(FAST_CONFIG)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Benchmark a callable with one timed round (regeneration cost)."""
+
+    def runner(func, *args):
+        return benchmark.pedantic(func, args=args, rounds=1, iterations=1)
+
+    return runner

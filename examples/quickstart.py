@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: one chip, one benchmark, DCS vs Razor.
+
+Builds the NTC execute stage, fabricates a chip instance, runs the mcf
+benchmark trace through dynamic timing analysis, and compares Razor's
+detect-and-recover penalties against DCS' sense-and-avoid flow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BENCHMARKS,
+    DcsScheme,
+    NTC,
+    RazorScheme,
+    build_error_trace,
+    build_ex_stage,
+    generate_trace,
+)
+
+
+def main() -> None:
+    width = 16  # use 32 for the full-scale experiments (slower)
+    print(f"building the {width}-bit EX stage at {NTC} ...")
+    stage = build_ex_stage(width=width, corner=NTC)
+    print(
+        f"  {stage.netlist.num_gates} gates, clock {stage.clock_period:.0f} ps, "
+        f"hold constraint {stage.hold_constraint:.0f} ps, "
+        f"{stage.num_pad_cells} hold-fix buffers"
+    )
+
+    chip = stage.fabricate(seed=10)
+    print(f"fabricated chip: {len(chip.affected_ids)} strongly PV-affected gates")
+
+    trace = generate_trace(BENCHMARKS["mcf"], 4000, width=width)
+    errors = build_error_trace(stage, chip, trace)
+    counts = errors.error_counts()
+    print(
+        f"mcf on this chip: {counts['se_max']} max errors, "
+        f"{counts['se_min']} min errors, {counts['ce']} consecutive errors "
+        f"over {len(errors)} cycles"
+    )
+
+    razor = RazorScheme().simulate(errors)
+    dcs = DcsScheme("icslt", capacity=128).simulate(errors)
+    print("\nscheme comparison (maximum timing errors):")
+    print(
+        f"  Razor : {razor.penalty_cycles:6d} penalty cycles "
+        f"({razor.flushes} flush+replay recoveries)"
+    )
+    print(
+        f"  DCS   : {dcs.penalty_cycles:6d} penalty cycles "
+        f"({dcs.flushes} recoveries, {dcs.stalls} stalls, "
+        f"prediction accuracy {dcs.prediction_accuracy:.1%})"
+    )
+    if razor.penalty_cycles:
+        saving = 1 - dcs.penalty_cycles / razor.penalty_cycles
+        print(f"  -> DCS removed {saving:.0%} of the recovery penalty")
+
+
+if __name__ == "__main__":
+    main()

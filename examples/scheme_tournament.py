@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The paper's headline comparison: every scheme on every benchmark.
+
+Replays all six SPEC-like benchmark traces on one choke-afflicted NTC
+chip through Razor, HFG, OCST, both DCS variants, and Trident, then
+prints normalised performance and energy efficiency (Razor = 1.0) --
+the combined view behind Figs. 3.11/3.12 and 4.11/4.12.
+
+Run:  python examples/scheme_tournament.py
+"""
+
+from repro import (
+    BENCHMARKS,
+    DcsScheme,
+    HfgScheme,
+    NTC,
+    OcstScheme,
+    RazorScheme,
+    TridentScheme,
+    build_error_trace,
+    build_ex_stage,
+    generate_trace,
+)
+from repro.arch.trace import BENCHMARK_ORDER
+from repro.energy import dcs_overheads, normalize_to, trident_overheads
+
+
+def main() -> None:
+    width, cycles, chip_seed = 16, 4000, 10
+    stage = build_ex_stage(width=width, corner=NTC)
+    chip = stage.fabricate(seed=chip_seed)
+    schemes = (
+        RazorScheme(),
+        HfgScheme(),
+        OcstScheme(interval=1000),
+        DcsScheme("icslt", 128),
+        DcsScheme("acslt", 32, 16),
+        TridentScheme(128),
+    )
+    overheads = {
+        "DCS-ICSLT": dcs_overheads("icslt", 128),
+        "DCS-ACSLT": dcs_overheads("acslt", 32, 16),
+        "Trident": trident_overheads(128),
+    }
+
+    names = [s.name for s in schemes]
+    print("normalised performance (top) and energy efficiency (bottom),")
+    print(f"Razor = 1.0, chip #{chip_seed}, {cycles} cycles per benchmark\n")
+    print("  " + "".join(f"{n:>11s}" for n in ["bench", *names]))
+    perf_rows, eff_rows = [], []
+    for benchmark in BENCHMARK_ORDER:
+        trace = generate_trace(BENCHMARKS[benchmark], cycles, width=width)
+        errors = build_error_trace(stage, chip, trace)
+        results = {s.name: s.simulate(errors) for s in schemes}
+        reports = normalize_to(results, NTC, overheads)
+        perf_rows.append(
+            (benchmark, [reports[n].normalized_performance for n in names])
+        )
+        eff_rows.append(
+            (benchmark, [reports[n].normalized_efficiency for n in names])
+        )
+    for benchmark, values in perf_rows:
+        print("  " + f"{benchmark:>11s}" + "".join(f"{v:11.2f}" for v in values))
+    print()
+    for benchmark, values in eff_rows:
+        print("  " + f"{benchmark:>11s}" + "".join(f"{v:11.2f}" for v in values))
+
+    averages = [
+        sum(values[i] for _, values in perf_rows) / len(perf_rows)
+        for i in range(len(names))
+    ]
+    print("\naverage performance: " + ", ".join(
+        f"{n}={v:.2f}" for n, v in zip(names, averages)
+    ))
+
+
+if __name__ == "__main__":
+    main()

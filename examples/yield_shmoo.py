@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Shmoo / yield study: what a static guardband costs a whole batch.
+
+Sweeps the clock margin over a fabricated batch of NTC chips and plots
+(in ASCII) which chips run clean at which margin.  The punchline is the
+paper's economic argument: covering the whole batch with one static
+clock margin costs tens of percent of performance on *every* chip, while
+DCS/Trident cover each chip's own choke signature with a small learned
+table at the aggressive margin.
+
+Run:  python examples/yield_shmoo.py
+"""
+
+import numpy as np
+
+from repro import BENCHMARKS, DcsScheme, NTC, RazorScheme, build_error_trace, build_ex_stage, generate_trace
+from repro.analysis import shmoo_sweep
+
+
+def main() -> None:
+    width, cycles = 16, 2500
+    stage = build_ex_stage(width=width, corner=NTC)
+    trace = generate_trace(BENCHMARKS["parser"], cycles, width=width)
+    margins = np.array([0.10, 0.18, 0.30, 0.45, 0.65, 0.90, 1.20])
+
+    print("sweeping clock margins over a 10-chip batch (parser trace)...\n")
+    result = shmoo_sweep(stage, trace, chip_seeds=range(10), margins=margins)
+    print(result.render())
+
+    full_yield = result.margin_for_yield(target=1.0)
+    design_margin = stage.clock_period / stage.nominal_critical_delay - 1.0
+    if full_yield is None:
+        min_stuck = (result.max_error_rates[:, -1] == 0) & (
+            result.min_error_rates[:, -1] > 0
+        )
+        print(
+            f"\nno swept margin runs the whole batch clean: "
+            f"{int(min_stuck.sum())} chip(s) suffer *minimum-timing* "
+            "violations (choke buffers), which no amount of extra clock "
+            "period can fix -- the exact blind spot Trident targets."
+        )
+    else:
+        print(
+            f"\nthe whole batch runs clean only at a +{full_yield:.0%} margin "
+            f"-- versus the +{design_margin:.0%} speculative design point."
+        )
+        slowdown = (1 + full_yield) / (1 + design_margin)
+        print(
+            f"a static guardband therefore costs every chip {slowdown:.2f}x "
+            "in clock period, including the chips that never err."
+        )
+
+    # what the adaptive alternative costs on the worst chip of the batch
+    rates = result.error_rates[:, 1]
+    worst = int(np.argmax(rates))
+    chip = stage.fabricate(seed=result.chip_seeds[worst])
+    errors = build_error_trace(stage, chip, trace)
+    razor = RazorScheme().simulate(errors)
+    dcs = DcsScheme("icslt", 128).simulate(errors)
+    print(
+        f"\nworst chip (#{result.chip_seeds[worst]}) at the design point: "
+        f"Razor loses {razor.penalty_cycles} cycles; DCS loses "
+        f"{dcs.penalty_cycles} (accuracy {dcs.prediction_accuracy:.0%}) -- "
+        "per-chip learning beats batch-wide guardbanding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Revamping timing error resilience to tackle choke "
+        "points at NTC systems' (DATE 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": ["repro-experiments=repro.experiments.__main__:main"],
+    },
+)

@@ -1,0 +1,12 @@
+"""Population analytics: shmoo sweeps and fabrication-yield studies.
+
+The paper's motivation rests on a population claim -- "a batch of
+identical chips may have a large variation in choke paths, post
+silicon" -- and on the resulting design question of how much clock
+guardband a *static* scheme would need to cover a whole batch.  This
+package quantifies both.
+"""
+
+from repro.analysis.shmoo import ShmooResult, shmoo_sweep
+
+__all__ = ["ShmooResult", "shmoo_sweep"]

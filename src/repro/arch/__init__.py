@@ -1,0 +1,45 @@
+"""Architecture substrate: ISA, benchmark traces, and the pipeline model.
+
+Replaces the paper's FabScalar Core-1 (11-stage out-of-order superscalar)
+running six SPEC CPU2000 benchmarks.  What the reproduced results depend
+on is not the microarchitecture itself but the *input-vector streams* the
+EX stage sees and the pipeline's penalty-cycle costs; this package
+provides both:
+
+* :mod:`repro.arch.isa` -- a MIPS-like instruction subset mapped onto the
+  ALU operations,
+* :mod:`repro.arch.operands` -- OWM and operand-size classification,
+* :mod:`repro.arch.trace` -- seeded synthetic trace generators with
+  per-benchmark instruction mixes, sequence locality and value locality,
+* :mod:`repro.arch.pipeline` -- the 11-stage pipeline cost model.
+"""
+
+from repro.arch.isa import INSTRUCTIONS, Instr, InstrSpec, instr_to_alu
+from repro.arch.operands import operand_size_class, owm_flag, significant_width
+from repro.arch.trace import (
+    BENCHMARKS,
+    BenchmarkConfig,
+    InstructionTrace,
+    generate_trace,
+)
+from repro.arch.pipeline import PipelineConfig
+from repro.arch.cpu import ExecutionStats, InOrderPipeline, MitigationKind, run_pipeline
+
+__all__ = [
+    "BENCHMARKS",
+    "ExecutionStats",
+    "InOrderPipeline",
+    "MitigationKind",
+    "run_pipeline",
+    "BenchmarkConfig",
+    "INSTRUCTIONS",
+    "Instr",
+    "InstrSpec",
+    "InstructionTrace",
+    "PipelineConfig",
+    "generate_trace",
+    "instr_to_alu",
+    "operand_size_class",
+    "owm_flag",
+    "significant_width",
+]

@@ -1,0 +1,303 @@
+"""Cycle-accurate in-order pipeline simulator (mechanistic validation).
+
+The scheme models in :mod:`repro.core` account penalties analytically
+(one flush = P cycles, one stall = 1 cycle).  This module implements the
+*mechanics* those numbers abstract: an in-order pipeline whose
+instructions physically occupy stage latches, whose Choke Controller
+grants real extra execute cycles (stalling the younger stages), and
+whose recovery physically squashes the pipe and refetches from the
+errant instruction -- so penalty cycles *emerge* from simulation instead
+of being assumed.  Integration tests cross-validate the emergent cycle
+counts against the analytic models.
+
+The pipeline executes a dynamic instruction stream (an
+:class:`~repro.arch.trace.InstructionTrace`) functionally through the
+reference ALU semantics and consults a per-dynamic-instruction *timing
+oracle* (the error classes of a precomputed
+:class:`~repro.core.scheme_sim.ErrorTrace`) for whether the EX
+computation suffers a choke error when executed without extra time.
+Granted stall cycles cover an error up to their class (one for an SE,
+two for a CE), matching §3.3.1's assumption that even the worst-case
+choke path completes within two cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+from repro.circuits.alu import AluOp, alu_reference
+from repro.core.cslt import IndependentCSLT
+from repro.core.tags import EX_STAGE, DcsTag, ErrorId
+from repro.core.trident.cet import ChokeErrorTable
+from repro.core.trident.tdc import TransitionDetectorCounter
+from repro.timing.dta import ERR_NONE
+
+
+class MitigationKind(enum.Enum):
+    """Which error-handling unit the pipeline carries."""
+
+    NONE = "none"
+    RAZOR = "razor"
+    DCS = "dcs"
+    TRIDENT = "trident"
+
+
+@dataclass
+class _InFlight:
+    """One instruction occupying a pipeline latch."""
+
+    index: int  # dynamic instruction number
+    granted: int = 0  # extra EX cycles granted by the avoidance mechanism
+    ex_remaining: int = -1  # EX occupancy countdown (-1 = not yet at EX)
+
+
+@dataclass
+class ExecutionStats:
+    """Emergent counters from one pipeline run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    flushes: int = 0
+    stall_cycles: int = 0
+    errors_detected: int = 0
+    errors_avoided: int = 0
+    results: dict[int, int] = field(default_factory=dict)
+
+    def penalty_cycles(self, depth: int) -> int:
+        """Cycles beyond the ideal single-issue pipeline's N + depth."""
+        return self.cycles - self.instructions - depth
+
+
+class InOrderPipeline:
+    """A single-issue in-order pipeline with pluggable EDAC hardware.
+
+    Stage 0 fetches; ``ex_index`` (default ``depth - 2``, directly before
+    writeback, so a flush discards nearly a full pipeline of work -- the
+    paper's P-cycle recovery) executes; the last stage retires.
+    """
+
+    def __init__(
+        self,
+        trace,
+        error_classes: np.ndarray,
+        mitigation: MitigationKind = MitigationKind.RAZOR,
+        pipeline: PipelineConfig = DEFAULT_PIPELINE,
+        table_capacity: int = 128,
+        ex_index: int | None = None,
+    ) -> None:
+        if len(error_classes) != len(trace) - 1:
+            raise ValueError(
+                "error_classes must cover the trace's instruction pairs "
+                f"(expected {len(trace) - 1}, got {len(error_classes)})"
+            )
+        self.trace = trace
+        self.error_classes = np.asarray(error_classes, dtype=np.int8)
+        self.mitigation = mitigation
+        self.pipeline = pipeline
+        depth = pipeline.depth
+        self.ex_index = depth - 2 if ex_index is None else ex_index
+        if not 1 <= self.ex_index < depth - 1:
+            raise ValueError("EX stage must sit strictly inside the pipeline")
+
+        self._stages: list[_InFlight | None] = [None] * depth
+        self._fetch_index = 0
+        # Indices that already went through a recovery: the flush+replay
+        # restores a corrected value, so the replay is guaranteed to
+        # complete (forward progress; Razor's recovery guarantee and the
+        # paper's two-cycle worst-case assumption).
+        self._recovered: set[int] = set()
+        self._owm, self._size_a, self._size_b = self._operand_bits(trace)
+
+        self._cslt = (
+            IndependentCSLT(table_capacity)
+            if mitigation is MitigationKind.DCS
+            else None
+        )
+        self._cet = (
+            ChokeErrorTable(table_capacity)
+            if mitigation is MitigationKind.TRIDENT
+            else None
+        )
+
+    @staticmethod
+    def _operand_bits(trace):
+        from repro.arch.operands import operand_size_class, owm_flag
+
+        owm = owm_flag(trace.a_values, trace.b_values, trace.width)
+        size_a = operand_size_class(trace.a_values, trace.width)
+        size_b = operand_size_class(trace.b_values, trace.width)
+        return owm, size_a, size_b
+
+    # ------------------------------------------------------------------
+    # per-instruction helpers
+    # ------------------------------------------------------------------
+    def _error_class_of(self, index: int) -> int:
+        if index == 0:
+            return ERR_NONE  # nothing initialised the paths yet
+        return int(self.error_classes[index - 1])
+
+    def _dcs_tag(self, index: int) -> DcsTag:
+        prev = max(index - 1, 0)
+        return DcsTag(
+            int(self.trace.instrs[index]),
+            bool(self._owm[index]),
+            int(self.trace.instrs[prev]),
+            bool(self._owm[prev]),
+        )
+
+    def _cet_key(self, index: int) -> tuple:
+        prev = max(index - 1, 0)
+        return (
+            int(self.trace.instrs[prev]),
+            int(self.trace.instrs[index]),
+            bool(self._size_a[index]),
+            bool(self._size_b[index]),
+            EX_STAGE,
+        )
+
+    def _visible(self, err_class: int) -> bool:
+        """Whether this mitigation's detector reacts to the class."""
+        if self.mitigation is MitigationKind.NONE:
+            return False
+        if self.mitigation is MitigationKind.TRIDENT:
+            return err_class != ERR_NONE
+        # Razor and DCS see only maximum timing violations.
+        return err_class in (2, 3)
+
+    def _stalls_needed(self, err_class: int) -> int:
+        """Extra EX cycles that make this class invisible to the scheme.
+
+        Trident must cover the full class (two cycles for a CE); Razor
+        and DCS only ever react to the maximum-violation component, so
+        one extra cycle silences everything they can see (a CE's
+        trailing minimum violation corrupts data silently -- exactly the
+        blindness Chapter 4 exposes).
+        """
+        if self.mitigation is MitigationKind.TRIDENT:
+            return TransitionDetectorCounter.stall_cycles_for(err_class)
+        return 1 if err_class in (2, 3) else 0
+
+    def _predict(self, index: int) -> int:
+        """Decode-stage probe: extra EX cycles the tables grant."""
+        if self._cslt is not None and self._cslt.lookup(self._dcs_tag(index)):
+            return 1
+        if self._cet is not None:
+            stored = self._cet.lookup(self._cet_key(index))
+            if stored is not None:
+                return TransitionDetectorCounter.stall_cycles_for(stored)
+        return 0
+
+    def _learn(self, index: int) -> None:
+        """Record a detected error instance in the scheme's table."""
+        if self._cslt is not None:
+            self._cslt.insert(self._dcs_tag(index))
+        if self._cet is not None:
+            key = self._cet_key(index)
+            self._cet.insert(
+                ErrorId(key[0], key[1], key[2], key[3], self._error_class_of(index))
+            )
+
+    # ------------------------------------------------------------------
+    # the cycle loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> ExecutionStats:
+        stats = ExecutionStats()
+        depth = self.pipeline.depth
+        total = len(self.trace)
+        limit = max_cycles if max_cycles is not None else 50 * total + 10 * depth
+
+        while self._fetch_index < total or any(
+            latch is not None for latch in self._stages
+        ):
+            stats.cycles += 1
+            if stats.cycles > limit:
+                raise RuntimeError("pipeline failed to make progress")
+
+            # --- writeback / retire ---------------------------------------
+            retiring = self._stages[depth - 1]
+            if retiring is not None:
+                index = retiring.index
+                op = AluOp(int(self.trace.alu_ops[index]))
+                stats.results[index] = alu_reference(
+                    op,
+                    int(self.trace.a_values[index]),
+                    int(self.trace.b_values[index]),
+                    self.trace.width,
+                )
+                stats.instructions += 1
+                self._stages[depth - 1] = None
+
+            executing = self._stages[self.ex_index]
+            if executing is not None and executing.ex_remaining < 0:
+                executing.ex_remaining = 1 + executing.granted
+
+            # --- EX occupancy: granted stalls hold the younger stages ------
+            if executing is not None and executing.ex_remaining > 1:
+                executing.ex_remaining -= 1
+                stats.stall_cycles += 1
+                # bubble advances into the post-EX stages; younger half holds
+                for position in range(depth - 1, self.ex_index, -1):
+                    self._stages[position] = (
+                        self._stages[position - 1]
+                        if position - 1 > self.ex_index
+                        else None
+                    )
+                continue
+
+            # --- EX completion: detection / correction ---------------------
+            if executing is not None:
+                err_class = self._error_class_of(executing.index)
+                needed = self._stalls_needed(err_class)
+                if (
+                    self._visible(err_class)
+                    and executing.granted < needed
+                    and executing.index not in self._recovered
+                ):
+                    # detection + correction: learn, squash, replay
+                    stats.errors_detected += 1
+                    stats.flushes += 1
+                    self._learn(executing.index)
+                    self._recovered.add(executing.index)
+                    self._fetch_index = executing.index
+                    self._stages = [None] * depth
+                    continue
+                if needed and executing.granted >= needed and self._visible(err_class):
+                    stats.errors_avoided += 1
+
+            # --- advance everything one stage -------------------------------
+            for position in range(depth - 1, 0, -1):
+                self._stages[position] = self._stages[position - 1]
+            self._stages[0] = None
+
+            # --- fetch + decode-time prediction ------------------------------
+            if self._fetch_index < total:
+                index = self._fetch_index
+                self._fetch_index += 1
+                self._stages[0] = _InFlight(
+                    index=index, granted=self._predict(index)
+                )
+
+        return stats
+
+
+def run_pipeline(
+    trace,
+    error_trace,
+    mitigation: MitigationKind,
+    pipeline: PipelineConfig = DEFAULT_PIPELINE,
+    table_capacity: int = 128,
+) -> ExecutionStats:
+    """Convenience wrapper: run ``trace`` with the given mitigation unit,
+    using ``error_trace.err_class`` as the timing oracle."""
+    cpu = InOrderPipeline(
+        trace,
+        error_trace.err_class,
+        mitigation=mitigation,
+        pipeline=pipeline,
+        table_capacity=table_capacity,
+    )
+    return cpu.run()

@@ -1,0 +1,130 @@
+"""MIPS-like instruction subset and its mapping onto the ALU.
+
+The paper's architecture layer runs MIPS binaries on FabScalar; the
+instructions named in its figures (ADDIU, SLL, ANDI, SRL, LUI, OR, NOR,
+SRAV, ADDU, SUBU, MFLO, XOR, SLLV, SRA, AND, ORI) form the subset
+reproduced here.  Each instruction resolves to one ALU operation plus a
+rule for how its architectural operands map onto the ALU's two operand
+words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.circuits.alu import AluOp
+
+
+class Instr(enum.IntEnum):
+    """Instruction opcodes (the 8-bit opcode tag of the DCS scheme)."""
+
+    ADDU = 0
+    ADDIU = 1
+    SUBU = 2
+    AND = 3
+    ANDI = 4
+    OR = 5
+    ORI = 6
+    NOR = 7
+    XOR = 8
+    SLL = 9
+    SRL = 10
+    SRA = 11
+    SLLV = 12
+    SRAV = 13
+    LUI = 14
+    MFLO = 15
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """How one instruction drives the ALU.
+
+    * ``alu_op``: the ALU operation the instruction selects.
+    * ``immediate``: operand b comes from the instruction word (a 16-bit
+      immediate), not a register.
+    * ``shift``: operand b is a shift amount (small value); for
+      fixed-shift forms (SLL/SRL/SRA/LUI) it is a 5-bit constant, for
+      variable forms (SLLV/SRAV) it comes from a register's low bits.
+    """
+
+    instr: Instr
+    alu_op: AluOp
+    immediate: bool = False
+    shift: bool = False
+
+
+INSTRUCTIONS: dict[Instr, InstrSpec] = {
+    spec.instr: spec
+    for spec in (
+        InstrSpec(Instr.ADDU, AluOp.ADD),
+        InstrSpec(Instr.ADDIU, AluOp.ADD, immediate=True),
+        InstrSpec(Instr.SUBU, AluOp.SUB),
+        InstrSpec(Instr.AND, AluOp.AND),
+        InstrSpec(Instr.ANDI, AluOp.AND, immediate=True),
+        InstrSpec(Instr.OR, AluOp.OR),
+        InstrSpec(Instr.ORI, AluOp.OR, immediate=True),
+        InstrSpec(Instr.NOR, AluOp.NOR),
+        InstrSpec(Instr.XOR, AluOp.XOR),
+        InstrSpec(Instr.SLL, AluOp.SLL, shift=True),
+        InstrSpec(Instr.SRL, AluOp.LSR, shift=True),
+        InstrSpec(Instr.SRA, AluOp.ASR, shift=True),
+        InstrSpec(Instr.SLLV, AluOp.SLL, shift=True),
+        InstrSpec(Instr.SRAV, AluOp.ASR, shift=True),
+        # LUI places a 16-bit immediate in the upper half-word: modelled as
+        # a left shift of the immediate by W/2.
+        InstrSpec(Instr.LUI, AluOp.SLL, immediate=True, shift=True),
+        # MFLO moves the LO special register: the ALU's pass-through path.
+        InstrSpec(Instr.MFLO, AluOp.BUFFER),
+    )
+}
+
+
+def instr_to_alu(instr: Instr) -> AluOp:
+    """The ALU operation executed by ``instr``."""
+    return INSTRUCTIONS[instr].alu_op
+
+
+#: Instructions shown in the dissertation's Fig. 3.4 (vortex study).
+FIG3_4_INSTRS: tuple[Instr, ...] = (
+    Instr.ADDIU,
+    Instr.SLL,
+    Instr.ANDI,
+    Instr.SRL,
+    Instr.LUI,
+    Instr.OR,
+    Instr.NOR,
+    Instr.SRAV,
+)
+
+#: Instructions shown in Fig. 4.2 (path-delay variation study).
+FIG4_2_INSTRS: tuple[Instr, ...] = (
+    Instr.ADDIU,
+    Instr.ANDI,
+    Instr.LUI,
+    Instr.ADDU,
+    Instr.OR,
+    Instr.SLL,
+    Instr.SRL,
+    Instr.XOR,
+    Instr.SUBU,
+    Instr.MFLO,
+    Instr.SRA,
+    Instr.AND,
+    Instr.SLLV,
+    Instr.SRAV,
+    Instr.ORI,
+)
+
+#: Instructions shown in Figs. 4.3/4.4 (error-pattern studies).
+FIG4_3_INSTRS: tuple[Instr, ...] = (
+    Instr.ADDU,
+    Instr.SUBU,
+    Instr.MFLO,
+    Instr.ANDI,
+    Instr.XOR,
+    Instr.OR,
+    Instr.SLLV,
+    Instr.LUI,
+)

@@ -1,0 +1,52 @@
+"""Operand-width metrics: significant width, OWM, and size classes.
+
+Two related classifications from the paper:
+
+* **OWM (Operand Width Marker)**, Chapter 3: an operand's *significant
+  width* is the position of its leftmost set bit; it is "high" when
+  greater than half the ISA word width.  OWM is set for an operation when
+  either operand's significant width is high.
+* **Size class**, Chapter 4: an operand is "Large" (1) when its leftmost
+  set bit lies in the upper half of the word, else "Small" (0).
+
+Both reduce to the same bit-position test; they are kept as separate
+functions because the DCS tag uses the combined OWM bit while the Trident
+EID records each operand's class separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def significant_width(value: int) -> int:
+    """Position of the leftmost set bit (1-based); 0 for value 0."""
+    if value < 0:
+        raise ValueError("operand values must be non-negative")
+    return int(value).bit_length()
+
+
+def _is_high(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised test: leftmost set bit in the upper half of the word."""
+    values = np.asarray(values, dtype=np.uint64)
+    threshold = np.uint64(1) << np.uint64(width // 2)
+    return values >= threshold
+
+
+def owm_flag(a, b, width: int):
+    """Operand Width Marker: set when either operand has high significant
+    width (> width/2).  Vectorised over numpy arrays; scalar ints return a
+    scalar bool."""
+    scalar = np.isscalar(a) and np.isscalar(b)
+    result = _is_high(np.atleast_1d(a), width) | _is_high(np.atleast_1d(b), width)
+    return bool(result[0]) if scalar else result
+
+
+def operand_size_class(values, width: int):
+    """Chapter-4 size class: True = "Large", False = "Small".
+
+    Vectorised over numpy arrays; scalar ints return a scalar bool.
+    """
+    scalar = np.isscalar(values)
+    result = _is_high(np.atleast_1d(values), width)
+    return bool(result[0]) if scalar else result

@@ -1,0 +1,43 @@
+"""Pipeline cost model (the FabScalar Core-1 substitute).
+
+The paper's core is an 11-stage out-of-order superscalar; for the
+reproduced results only its *penalty accounting* matters:
+
+* a detected timing error triggers a pipeline flush plus instruction
+  replay, costing as many cycles as there are pipe stages (Razor-style
+  recovery, §3.3.4),
+* an avoided error costs the inserted stall cycles (one for DCS and
+  Trident SEs, two for Trident CEs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline parameters of the simulated core."""
+
+    depth: int = 11
+    fetch_width: int = 4  # FabScalar Core-1 fetches/commits 4 per cycle
+
+    def __post_init__(self) -> None:
+        if self.depth < 2:
+            raise ValueError("pipeline depth must be at least 2")
+        if self.fetch_width < 1:
+            raise ValueError("fetch width must be at least 1")
+
+    @property
+    def flush_penalty(self) -> int:
+        """Cycles lost to a pipeline flush + instruction replay."""
+        return self.depth
+
+    @property
+    def stall_penalty(self) -> int:
+        """Cycles lost to one inserted stall."""
+        return 1
+
+
+#: The paper's evaluation pipeline.
+DEFAULT_PIPELINE = PipelineConfig()

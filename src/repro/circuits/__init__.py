@@ -1,0 +1,29 @@
+"""Structural circuits: the execute-stage ALU the paper times.
+
+The paper synthesises a 64-bit ALU / EX pipestage with Synopsys DC on the
+NanGate 15 nm library.  This package builds the equivalent gate-level
+netlists structurally:
+
+* :mod:`repro.circuits.adders` -- ripple-carry and carry-lookahead adders,
+  shared adder/subtractor,
+* :mod:`repro.circuits.multiplier` -- array multiplier (carry-save rows),
+* :mod:`repro.circuits.shifter` -- barrel shifters (SLL/SRL/SRA/ROR),
+* :mod:`repro.circuits.logic_unit` -- bitwise AND/OR/XOR/NOR,
+* :mod:`repro.circuits.alu` -- the full ALU with one-hot op selects and a
+  gated result mux, plus the pure-Python reference semantics,
+* :mod:`repro.circuits.ex_stage` -- the EX pipestage wrapper with optional
+  hold-buffer insertion on short paths (the buffers that can become the
+  paper's "choke buffers").
+"""
+
+from repro.circuits.alu import Alu, AluOp, build_alu, alu_reference
+from repro.circuits.ex_stage import ExStage, build_ex_stage
+
+__all__ = [
+    "Alu",
+    "AluOp",
+    "ExStage",
+    "alu_reference",
+    "build_alu",
+    "build_ex_stage",
+]

@@ -1,0 +1,105 @@
+"""Structural adders and the shared adder/subtractor.
+
+Two adder topologies are provided:
+
+* a ripple-carry adder (deep, linear carry chain -- the default in the
+  ALU because its long sensitisable carry paths are exactly where the
+  paper's choke points bite), and
+* a group carry-lookahead adder (shallower; used by tests and available
+  as a design alternative for ablation studies).
+"""
+
+from __future__ import annotations
+
+from repro.gates.builder import NetlistBuilder, Word
+
+
+def full_adder(builder: NetlistBuilder, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One full-adder cell; returns ``(sum, carry_out)``."""
+    axb = builder.xor_(a, b)
+    total = builder.xor_(axb, cin)
+    carry = builder.or_(builder.and_(a, b), builder.and_(axb, cin))
+    return total, carry
+
+
+def half_adder(builder: NetlistBuilder, a: int, b: int) -> tuple[int, int]:
+    """One half-adder cell; returns ``(sum, carry_out)``."""
+    return builder.xor_(a, b), builder.and_(a, b)
+
+
+def ripple_carry_adder(
+    builder: NetlistBuilder, a: Word, b: Word, cin: int | None = None
+) -> tuple[Word, int]:
+    """Ripple-carry adder; returns ``(sum_word, carry_out)``."""
+    if len(a) != len(b):
+        raise ValueError(f"operand width mismatch: {len(a)} vs {len(b)}")
+    carry = cin if cin is not None else builder.const(0)
+    sums: Word = []
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(builder, bit_a, bit_b, carry)
+        sums.append(total)
+    return sums, carry
+
+
+def carry_lookahead_adder(
+    builder: NetlistBuilder,
+    a: Word,
+    b: Word,
+    cin: int | None = None,
+    group_size: int = 4,
+) -> tuple[Word, int]:
+    """Group carry-lookahead adder; returns ``(sum_word, carry_out)``.
+
+    Carries are computed per ``group_size``-bit group with explicit
+    generate/propagate logic; groups are chained (block-ripple between
+    groups), which is the classic synthesised CLA structure.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"operand width mismatch: {len(a)} vs {len(b)}")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    carry = cin if cin is not None else builder.const(0)
+    width = len(a)
+    sums: Word = [0] * width
+
+    for group_start in range(0, width, group_size):
+        group_end = min(group_start + group_size, width)
+        generates = []
+        propagates = []
+        for i in range(group_start, group_end):
+            generates.append(builder.and_(a[i], b[i]))
+            propagates.append(builder.xor_(a[i], b[i]))
+        # Carry into each bit of the group, flattened lookahead:
+        # c[k+1] = g[k] | p[k]&g[k-1] | ... | p[k..0]&c_in
+        carries = [carry]
+        for k in range(group_end - group_start):
+            terms = [generates[k]]
+            prefix = propagates[k]
+            for j in range(k - 1, -1, -1):
+                terms.append(builder.and_(prefix, generates[j]))
+                prefix = builder.and_(prefix, propagates[j])
+            terms.append(builder.and_(prefix, carry))
+            carries.append(builder.or_many(terms))
+        for offset, i in enumerate(range(group_start, group_end)):
+            sums[i] = builder.xor_(propagates[offset], carries[offset])
+        carry = carries[-1]
+
+    return sums, carry
+
+
+def add_sub_unit(
+    builder: NetlistBuilder,
+    a: Word,
+    b: Word,
+    subtract: int,
+    use_lookahead: bool = False,
+) -> tuple[Word, int]:
+    """Shared adder/subtractor: computes ``a - b`` when ``subtract`` is 1.
+
+    Subtraction is two's-complement: each ``b`` bit is XORed with the
+    ``subtract`` select, which also feeds the carry-in.
+    """
+    b_eff = [builder.xor_(bit, subtract) for bit in b]
+    if use_lookahead:
+        return carry_lookahead_adder(builder, a, b_eff, cin=subtract)
+    return ripple_carry_adder(builder, a, b_eff, cin=subtract)

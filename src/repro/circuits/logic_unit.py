@@ -1,0 +1,17 @@
+"""Bitwise logic unit of the ALU: AND / OR / XOR / NOR words."""
+
+from __future__ import annotations
+
+from repro.gates.builder import NetlistBuilder, Word
+
+
+def logic_unit(builder: NetlistBuilder, a: Word, b: Word) -> dict[str, Word]:
+    """Build the four bitwise logic results; returns them keyed by name."""
+    if len(a) != len(b):
+        raise ValueError(f"operand width mismatch: {len(a)} vs {len(b)}")
+    return {
+        "AND": builder.and_word(a, b),
+        "OR": builder.or_word(a, b),
+        "XOR": builder.xor_word(a, b),
+        "NOR": builder.nor_word(a, b),
+    }

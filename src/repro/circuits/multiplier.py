@@ -1,0 +1,62 @@
+"""Array multiplier (sequential partial-product row accumulation).
+
+The ALU's MULT path multiplies the low halves of the two operands and
+produces a full-width product, keeping the gate count tractable for a
+Python-hosted simulation while preserving what the experiments need: the
+multiplier is by far the deepest, most widely sensitised unit in the ALU
+(matching the paper's observation that computation-heavy operations
+sensitise the most paths and are the most potent choke-path creators).
+"""
+
+from __future__ import annotations
+
+from repro.gates.builder import NetlistBuilder, Word
+
+from repro.circuits.adders import ripple_carry_adder
+
+
+def array_multiplier(builder: NetlistBuilder, a: Word, b: Word) -> Word:
+    """Unsigned array multiplier; returns a ``len(a) + len(b)``-bit product.
+
+    Row ``i`` of partial products ``a[j] & b[i]`` is accumulated into a
+    running sum with a ripple-carry adder row; the low bit of the
+    accumulator is final after each row.  This is the classic synthesised
+    array-multiplier structure (adder rows chained through both sum and
+    carry), giving long, input-dependent sensitisable paths.
+    """
+    width_a = len(a)
+    width_b = len(b)
+    if width_a == 0 or width_b == 0:
+        raise ValueError("multiplier operands must be non-empty")
+
+    product: Word = []
+    # Accumulator holds bit positions i .. i+width_a-1 before row i is added.
+    acc: Word = [builder.and_(a[j], b[0]) for j in range(width_a)]
+    carry_msb = builder.const(0)
+
+    for i in range(1, width_b):
+        product.append(acc[0])
+        row = [builder.and_(a[j], b[i]) for j in range(width_a)]
+        shifted = acc[1:] + [carry_msb]
+        acc, carry_msb = ripple_carry_adder(builder, shifted, row)
+
+    product.extend(acc)
+    product.append(carry_msb)
+    assert len(product) == width_a + width_b
+    return product
+
+
+def half_width_multiplier(builder: NetlistBuilder, a: Word, b: Word) -> Word:
+    """Multiply the low halves of ``a`` and ``b``; full-width product.
+
+    For W-bit operands this is a (W/2)x(W/2) array whose product is exactly
+    W bits, so no truncation of the result is needed.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"operand width mismatch: {len(a)} vs {len(b)}")
+    half = max(1, len(a) // 2)
+    product = array_multiplier(builder, a[:half], b[:half])
+    width = len(a)
+    if len(product) < width:
+        product = product + [builder.const(0)] * (width - len(product))
+    return product[:width]

@@ -1,0 +1,90 @@
+"""Barrel shifters: logical/arithmetic right shift, rotate, left shift.
+
+Each shifter is a log2(W)-stage mux barrel.  Separate barrels per shift
+kind keep the structure close to what a synthesis tool emits for a
+multi-function shift unit and give each shift operation its own
+sensitisable path population (ASR/LSR/ROR behave differently in the
+paper's CDL analysis precisely because their path sets differ).
+"""
+
+from __future__ import annotations
+
+from repro.gates.builder import NetlistBuilder, Word
+
+
+def _check_width(width: int) -> int:
+    if width < 2 or width & (width - 1):
+        raise ValueError(f"shifter width must be a power of two >= 2, got {width}")
+    return width.bit_length() - 1
+
+
+def shift_amount_bits(width: int) -> int:
+    """Number of shift-amount bits a ``width``-bit barrel consumes."""
+    return _check_width(width)
+
+
+def barrel_shift_right(
+    builder: NetlistBuilder,
+    value: Word,
+    amount: Word,
+    mode: str,
+) -> Word:
+    """Right barrel shifter.
+
+    ``mode`` selects the fill source: ``"logical"`` fills with 0,
+    ``"arith"`` replicates the sign bit, ``"rotate"`` wraps the low bits
+    around.  ``amount`` must provide log2(width) select bits (LSB first).
+    """
+    width = len(value)
+    stages = _check_width(width)
+    if len(amount) < stages:
+        raise ValueError(
+            f"need {stages} shift-amount bits for width {width}, got {len(amount)}"
+        )
+    if mode not in ("logical", "arith", "rotate"):
+        raise ValueError(f"unknown shift mode {mode!r}")
+
+    current = list(value)
+    sign = value[width - 1]
+    for k in range(stages):
+        distance = 1 << k
+        select = amount[k]
+        shifted: Word = []
+        for i in range(width):
+            source_index = i + distance
+            if source_index < width:
+                source = current[source_index]
+            elif mode == "rotate":
+                source = current[source_index - width]
+            elif mode == "arith":
+                source = sign
+            else:
+                source = builder.const(0)
+            shifted.append(builder.mux(select, current[i], source))
+        current = shifted
+        if mode == "arith":
+            # The sign of the intermediate word is unchanged by an
+            # arithmetic right shift, so keep replicating the original sign.
+            sign = value[width - 1]
+    return current
+
+
+def barrel_shift_left(builder: NetlistBuilder, value: Word, amount: Word) -> Word:
+    """Left barrel shifter filling with zeros."""
+    width = len(value)
+    stages = _check_width(width)
+    if len(amount) < stages:
+        raise ValueError(
+            f"need {stages} shift-amount bits for width {width}, got {len(amount)}"
+        )
+    current = list(value)
+    for k in range(stages):
+        distance = 1 << k
+        select = amount[k]
+        shifted: Word = []
+        for i in range(width):
+            source_index = i - distance
+            source = current[source_index] if source_index >= 0 else builder.const(0)
+            shifted.append(builder.mux(select, current[i], source))
+        current = shifted
+    return current

@@ -1,0 +1,58 @@
+"""Bloom filter: the parallel lookup accelerator of the CSLT and CET.
+
+The paper performs table lookups through a Bloom filter (§3.3.4, §4.3.5)
+so the decode-stage probe does not sit on the critical path.  Because the
+tables evict entries (pseudo-LRU) while a Bloom filter cannot delete,
+the filter is rebuilt from the surviving tags whenever an eviction
+occurs -- a standard software-model idealisation of the hardware's
+periodic refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class BloomFilter:
+    """A classic Bloom filter over hashable items."""
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 3) -> None:
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self._count = 0
+
+    def _positions(self, item: Hashable) -> list[int]:
+        return [
+            hash((salt, item)) % self.num_bits for salt in range(self.num_hashes)
+        ]
+
+    def add(self, item: Hashable) -> None:
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
+        )
+
+    def clear(self) -> None:
+        self._bits = bytearray(len(self._bits))
+        self._count = 0
+
+    def rebuild(self, items: Iterable[Hashable]) -> None:
+        """Repopulate from scratch (used after table evictions)."""
+        self.clear()
+        for item in items:
+            self.add(item)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of filter bits set (false-positive-rate proxy)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits

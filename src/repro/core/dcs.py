@@ -1,0 +1,142 @@
+"""Dynamic Choke Sensing (DCS): the DATE 2017 technique.
+
+DCS operates in three interlinked stages (§3.3.4):
+
+1. **Choke sensing** -- the learning phase.  Each unique timing-error
+   instance is allowed to occur once; its four-part tag (errant
+   opcode+OWM, previous opcode+OWM) is recorded in the CSLT.
+2. **Choke error recovery** -- on a sensed (unpredicted) error the Choke
+   Controller flushes the pipeline and replays the instruction, costing
+   P cycles (P = pipeline depth).
+3. **Timing error avoidance** -- the adaptive phase.  Every decode-stage
+   opcode is looked up in the CSLT; on a hit, a single stall cycle is
+   inserted before the execute stage, giving the instruction the two
+   cycles the worst-case choke path needs.
+
+Error handling (§3.3.5): a false-positive table match costs one wasted
+stall; a false negative pays the full flush-and-replay penalty.
+
+DCS addresses *maximum* timing violations only -- minimum violations are
+assumed handled by buffer insertion (the assumption Trident later
+removes).
+"""
+
+from __future__ import annotations
+
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+from repro.core.cslt import AssociativeCSLT, IndependentCSLT
+from repro.core.scheme_sim import ErrorTrace
+from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.tags import DcsTag
+
+
+class DcsScheme(Scheme):
+    """DCS with either CSLT organisation.
+
+    ``variant="icslt"`` uses a fully-associative table of ``capacity``
+    independent tuples; ``variant="acslt"`` uses ``capacity`` set tuples
+    of ``associativity`` previous-pair ways each.
+    """
+
+    def __init__(
+        self,
+        variant: str = "icslt",
+        capacity: int = 128,
+        associativity: int = 16,
+        pipeline: PipelineConfig = DEFAULT_PIPELINE,
+        use_owm: bool = True,
+        use_prev: bool = True,
+    ) -> None:
+        if variant not in ("icslt", "acslt"):
+            raise ValueError(f"unknown DCS variant {variant!r}")
+        self.variant = variant
+        self.capacity = capacity
+        self.associativity = associativity
+        self.pipeline = pipeline
+        #: ablation knobs for the tag granularity study: ``use_owm=False``
+        #: drops the operand-width bits, ``use_prev=False`` drops the
+        #: initialising-instruction half (an opcode-only tag, the
+        #: granularity of earlier PC/opcode predictors the paper improves
+        #: on).
+        self.use_owm = use_owm
+        self.use_prev = use_prev
+        self.name = "DCS-ICSLT" if variant == "icslt" else "DCS-ACSLT"
+        if not use_owm or not use_prev:
+            suffix = []
+            if not use_owm:
+                suffix.append("noOWM")
+            if not use_prev:
+                suffix.append("noPrev")
+            self.name += "[" + ",".join(suffix) + "]"
+
+    def _new_table(self):
+        if self.variant == "icslt":
+            return IndependentCSLT(self.capacity)
+        return AssociativeCSLT(self.capacity, self.associativity)
+
+    def simulate(self, trace: ErrorTrace) -> SchemeResult:
+        table = self._new_table()
+        seen_tags: set[DcsTag] = set()
+
+        stalls = 0
+        flushes = 0
+        predicted = 0
+        false_positives = 0
+        first_occurrences = 0
+        capacity_misses = 0
+
+        instr_sens = trace.instr_sens
+        instr_init = trace.instr_init
+        owm_sens = trace.owm_sens
+        owm_init = trace.owm_init
+        max_err = trace.max_err
+
+        use_owm = self.use_owm
+        use_prev = self.use_prev
+        for j in range(len(trace)):
+            tag = DcsTag(
+                int(instr_sens[j]),
+                bool(owm_sens[j]) if use_owm else False,
+                int(instr_init[j]) if use_prev else 0,
+                bool(owm_init[j]) if (use_owm and use_prev) else False,
+            )
+            actual = bool(max_err[j])
+            if table.lookup(tag):
+                # Avoidance: one stall gives the execute stage an extra
+                # cycle, which covers even the worst-case choke path.
+                stalls += 1
+                if actual:
+                    predicted += 1
+                else:
+                    false_positives += 1
+            elif actual:
+                # Sensing + recovery: flush the pipeline, replay, record.
+                flushes += 1
+                if tag in seen_tags:
+                    capacity_misses += 1  # known tag lost to eviction
+                else:
+                    first_occurrences += 1
+                    seen_tags.add(tag)
+                table.insert(tag)
+
+        penalty = stalls * self.pipeline.stall_penalty
+        penalty += flushes * self.pipeline.flush_penalty
+        return SchemeResult(
+            scheme=self.name,
+            benchmark=trace.benchmark,
+            base_cycles=len(trace),
+            penalty_cycles=penalty,
+            effective_clock_period=trace.clock_period,
+            errors_total=predicted + flushes,
+            errors_predicted=predicted,
+            errors_missed=flushes,
+            false_positives=false_positives,
+            stalls=stalls,
+            flushes=flushes,
+            unique_instances=len(seen_tags),
+            extra={
+                "first_occurrences": first_occurrences,
+                "capacity_misses": capacity_misses,
+                "table_unique_insertions": table.unique_insertions,
+            },
+        )

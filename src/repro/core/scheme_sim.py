@@ -1,0 +1,112 @@
+"""Per-cycle timing-error traces: the input every EDAC scheme replays.
+
+The paper's circuit layer produces a "cyclewise sensitised path delay
+report" which the "timing error simulation for diverse schemes" then
+consumes (§3.4.3).  :func:`build_error_trace` is that hand-off: it runs
+the dynamic timing analysis of an instruction trace on one fabricated
+chip and packages everything a scheme needs per cycle -- instruction
+pair, OWM bits, operand size classes, raw arrival times, and the
+classified error.
+
+Alignment convention: entry ``j`` of an :class:`ErrorTrace` describes
+*errant cycle* ``j+1`` of the instruction trace -- the sensitising
+instruction is ``instrs[j+1]``, the initialising instruction is
+``instrs[j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.operands import operand_size_class, owm_flag
+from repro.arch.trace import InstructionTrace
+from repro.circuits.ex_stage import ExStage
+from repro.pv.chip import ChipSample
+from repro.timing.dta import ERR_CE, ERR_NONE, ERR_SE_MAX, ERR_SE_MIN
+
+
+@dataclass
+class ErrorTrace:
+    """Cycle-wise timing outcome of one (benchmark, chip) run."""
+
+    benchmark: str
+    corner: str
+    corner_vdd: float  # supply voltage of the corner, volts
+    clock_period: float  # ps
+    hold_constraint: float  # ps
+    instr_sens: np.ndarray  # sensitising instruction opcode per entry
+    instr_init: np.ndarray  # initialising instruction opcode per entry
+    owm_sens: np.ndarray  # OWM of the sensitising instruction
+    owm_init: np.ndarray
+    size_a: np.ndarray  # operand size classes of the sensitising instr
+    size_b: np.ndarray
+    static_ids: np.ndarray  # static-instruction id of the sensitising instr
+    t_late: np.ndarray
+    t_early: np.ndarray
+    err_class: np.ndarray  # ERR_NONE / ERR_SE_MIN / ERR_SE_MAX / ERR_CE
+
+    def __len__(self) -> int:
+        return len(self.err_class)
+
+    @property
+    def max_err(self) -> np.ndarray:
+        """Cycles with a maximum (setup) timing violation."""
+        return (self.err_class == ERR_SE_MAX) | (self.err_class == ERR_CE)
+
+    @property
+    def min_err(self) -> np.ndarray:
+        """Cycles with a minimum (hold) timing violation."""
+        return (self.err_class == ERR_SE_MIN) | (self.err_class == ERR_CE)
+
+    @property
+    def any_err(self) -> np.ndarray:
+        return self.err_class != ERR_NONE
+
+    def error_counts(self) -> dict[str, int]:
+        """Histogram of error classes over the trace."""
+        return {
+            "none": int((self.err_class == ERR_NONE).sum()),
+            "se_min": int((self.err_class == ERR_SE_MIN).sum()),
+            "se_max": int((self.err_class == ERR_SE_MAX).sum()),
+            "ce": int((self.err_class == ERR_CE).sum()),
+        }
+
+
+def build_error_trace(
+    stage: ExStage,
+    chip: ChipSample,
+    trace: InstructionTrace,
+    chunk: int = 2048,
+) -> ErrorTrace:
+    """Run DTA of ``trace`` on ``chip`` and classify every cycle."""
+    if trace.width != stage.width:
+        raise ValueError(
+            f"trace width {trace.width} does not match stage width {stage.width}"
+        )
+    inputs = trace.encode_inputs(stage.alu)
+    timings = stage.timings(chip, inputs, chunk=chunk)
+    err_class = timings.classify(stage.clock_period, stage.hold_constraint)
+
+    owm = owm_flag(trace.a_values, trace.b_values, trace.width)
+    size_a = operand_size_class(trace.a_values, trace.width)
+    size_b = operand_size_class(trace.b_values, trace.width)
+
+    return ErrorTrace(
+        benchmark=trace.name,
+        corner=stage.corner.name,
+        corner_vdd=stage.corner.vdd,
+        clock_period=stage.clock_period,
+        hold_constraint=stage.hold_constraint,
+        instr_sens=trace.instrs[1:].copy(),
+        instr_init=trace.instrs[:-1].copy(),
+        owm_sens=owm[1:].copy(),
+        owm_init=owm[:-1].copy(),
+        size_a=size_a[1:].copy(),
+        size_b=size_b[1:].copy(),
+        static_ids=trace.static_ids[1:].copy(),
+        t_late=timings.t_late,
+        t_early=timings.t_early,
+        err_class=err_class,
+    )

@@ -1,0 +1,8 @@
+"""Comparison schemes: Razor, HFG, and OCST behavioural models."""
+
+from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.razor import RazorScheme
+from repro.core.schemes.hfg import HfgScheme
+from repro.core.schemes.ocst import OcstScheme
+
+__all__ = ["HfgScheme", "OcstScheme", "RazorScheme", "Scheme", "SchemeResult"]

@@ -1,0 +1,113 @@
+"""OCST: Online Clock Skew Tuning (Ye, Yuan & Xu, ICCAD'11).
+
+OCST observes timing errors per circuit block over a tuning interval
+(100 000 cycles in the paper) with Razor-style detection and recovery;
+when a block's error frequency crosses a threshold, its clock skew is
+tuned to grant the block extra time, avoiding future errors at the cost
+of a slightly longer effective period.  Like Razor it relies on inserted
+buffers against minimum timing violations, so it only reacts to maximum
+violations.
+"""
+
+from __future__ import annotations
+
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+from repro.core.scheme_sim import ErrorTrace
+from repro.core.schemes.base import Scheme, SchemeResult
+
+
+class OcstScheme(Scheme):
+    """Interval-based clock-skew tuning around a Razor-style EDAC core."""
+
+    name = "OCST"
+
+    def __init__(
+        self,
+        pipeline: PipelineConfig = DEFAULT_PIPELINE,
+        interval: int = 5_000,
+        skew_step_fraction: float = 0.03,
+        max_skew_fraction: float = 0.12,
+        error_rate_threshold: float = 1e-4,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        if skew_step_fraction <= 0 or max_skew_fraction <= 0:
+            raise ValueError("skew fractions must be positive")
+        self.pipeline = pipeline
+        self.interval = interval
+        self.skew_step_fraction = skew_step_fraction
+        self.max_skew_fraction = max_skew_fraction
+        self.error_rate_threshold = error_rate_threshold
+
+    def simulate(self, trace: ErrorTrace) -> SchemeResult:
+        period = trace.clock_period
+        skew_step = self.skew_step_fraction * period
+        max_skew = self.max_skew_fraction * period
+        skew = 0.0
+
+        flushes = 0
+        avoided = 0
+        elapsed_ps = 0.0
+        interval_errors = 0
+        interval_cycles = 0
+        climb_baseline_rate: float | None = None
+        frozen_intervals = 0
+        t_late = trace.t_late
+        max_err = trace.max_err
+
+        for j in range(len(trace)):
+            effective = period + skew
+            elapsed_ps += effective
+            interval_cycles += 1
+            if max_err[j]:
+                if t_late[j] > effective:
+                    # Error still trips the speculation window: Razor-style
+                    # flush + replay.
+                    flushes += 1
+                    interval_errors += 1
+                    elapsed_ps += self.pipeline.flush_penalty * effective
+                else:
+                    # The tuned skew granted enough extra time.
+                    avoided += 1
+            if interval_cycles >= self.interval:
+                rate = interval_errors / interval_cycles
+                if frozen_intervals > 0:
+                    frozen_intervals -= 1
+                elif rate > self.error_rate_threshold and skew < max_skew:
+                    # Climb one step per interval towards the skew bound.
+                    if climb_baseline_rate is None:
+                        climb_baseline_rate = rate
+                    skew = min(skew + skew_step, max_skew)
+                elif skew >= max_skew and climb_baseline_rate is not None:
+                    # The climb is exhausted: keep the skew only if it is
+                    # actually buying error reduction.  Choke-path errors
+                    # sit far beyond any tunable skew range, and paying
+                    # the stretched period for nothing is strictly worse.
+                    if rate > 0.95 * climb_baseline_rate:
+                        skew = 0.0
+                        frozen_intervals = 8
+                    climb_baseline_rate = None
+                elif interval_errors == 0 and skew > 0.0:
+                    # Tune back towards nominal when the block runs clean.
+                    skew = max(skew - skew_step, 0.0)
+                    climb_baseline_rate = None
+                interval_errors = 0
+                interval_cycles = 0
+
+        base = len(trace)
+        total_errors = flushes + avoided
+        average_period = elapsed_ps / max(
+            base + flushes * self.pipeline.flush_penalty, 1
+        )
+        return SchemeResult(
+            scheme=self.name,
+            benchmark=trace.benchmark,
+            base_cycles=base,
+            penalty_cycles=flushes * self.pipeline.flush_penalty,
+            effective_clock_period=average_period,
+            errors_total=total_errors,
+            errors_predicted=avoided,
+            errors_missed=flushes,
+            flushes=flushes,
+            extra={"final_skew_ps": skew},
+        )

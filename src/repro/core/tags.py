@@ -1,0 +1,82 @@
+"""Error tags: the DCS four-part tag and the Trident Error ID (EID).
+
+DCS tags a timing-error instance at instruction-pair granularity
+(§3.3.2): the errant (sensitising) opcode with its OWM bit plus the
+previous-cycle (initialising) opcode with its OWM bit.  This is finer
+than the PC-based tags of earlier predictive schemes and is what lets the
+CSLT distinguish input conditions that do and do not sensitise a choke
+path.
+
+Trident's EID (§4.3.4) extends the idea: initialising and sensitising
+vectors, the operand size classes, the error class (SE(Min) / SE(Max) /
+CE) and the errant pipestage.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Bit widths used for hardware-overhead estimation.
+OPCODE_BITS = 8
+OWM_BITS = 1
+SIZE_CLASS_BITS = 1
+ERROR_CLASS_BITS = 2
+PIPESTAGE_BITS = 4
+
+#: Total DCS tag width: two (opcode, OWM) pairs.
+DCS_TAG_BITS = 2 * (OPCODE_BITS + OWM_BITS)
+
+#: Total Trident EID width.
+EID_BITS = (
+    2 * OPCODE_BITS + 2 * SIZE_CLASS_BITS + ERROR_CLASS_BITS + PIPESTAGE_BITS
+)
+
+#: Pipestage identifier of the execute stage (the stage under scrutiny).
+EX_STAGE = 5
+
+
+class DcsTag(NamedTuple):
+    """One CSLT entry: (errant opcode, errant OWM, previous opcode,
+    previous OWM)."""
+
+    opcode_errant: int
+    owm_errant: bool
+    opcode_prev: int
+    owm_prev: bool
+
+    @property
+    def set_key(self) -> tuple[int, bool]:
+        """The ACSLT set key: the errant (opcode, OWM) pair."""
+        return (self.opcode_errant, self.owm_errant)
+
+    @property
+    def way_key(self) -> tuple[int, bool]:
+        """The ACSLT way key: the previous-cycle (opcode, OWM) pair."""
+        return (self.opcode_prev, self.owm_prev)
+
+
+class ErrorId(NamedTuple):
+    """One Trident CET entry.
+
+    The lookup key is everything except ``err_class`` (the class is the
+    *payload*: it tells the CDC how many stall cycles the avoidance
+    mechanism must insert).
+    """
+
+    opcode_init: int
+    opcode_sens: int
+    size_a: bool
+    size_b: bool
+    err_class: int
+    pipestage: int = EX_STAGE
+
+    @property
+    def key(self) -> tuple[int, int, bool, bool, int]:
+        """The CET lookup key (class excluded)."""
+        return (
+            self.opcode_init,
+            self.opcode_sens,
+            self.size_a,
+            self.size_b,
+            self.pipestage,
+        )

@@ -1,0 +1,74 @@
+"""Choke Clearance Register (CCR): the DE-to-WB instruction buffer.
+
+The CCR holds the opcode, operand size classes and PC of every
+instruction currently between the decode and writeback stages (§4.3.5).
+It serves three masters:
+
+* the *detection* mechanism reads the errant and previous-cycle
+  instruction details to form the EID,
+* the *avoidance* mechanism compares the newest instruction's details
+  against the CET,
+* the *correction* mechanism supplies the errant instruction's address
+  for the PC to replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstructionRecord:
+    """One in-flight instruction's details as the CCR stores them."""
+
+    pc: int
+    opcode: int
+    size_a: bool
+    size_b: bool
+
+
+class ChokeClearanceRegister:
+    """A shift-register of in-flight instruction records."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 2:
+            raise ValueError("CCR depth must cover at least DE and EX")
+        self.depth = depth
+        self._entries: deque[InstructionRecord] = deque(maxlen=depth)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, record: InstructionRecord) -> None:
+        """Advance the pipeline by one instruction (newest at decode)."""
+        self._entries.appendleft(record)
+
+    def newest(self) -> InstructionRecord:
+        """The instruction just decoded (avoidance-lookup source)."""
+        if not self._entries:
+            raise LookupError("CCR is empty")
+        return self._entries[0]
+
+    def at_stage(self, stage_offset: int) -> InstructionRecord:
+        """The instruction ``stage_offset`` stages past decode."""
+        if not 0 <= stage_offset < len(self._entries):
+            raise LookupError(
+                f"no instruction at stage offset {stage_offset} "
+                f"(occupancy {len(self._entries)})"
+            )
+        return self._entries[stage_offset]
+
+    def errant_pair(self, ex_offset: int) -> tuple[InstructionRecord, InstructionRecord]:
+        """(initialising, sensitising) records for an EX-stage error."""
+        sensitising = self.at_stage(ex_offset)
+        initialising = self.at_stage(ex_offset + 1)
+        return initialising, sensitising
+
+    def replay_address(self, ex_offset: int) -> int:
+        """PC of the errant instruction, for the correction mechanism."""
+        return self.at_stage(ex_offset).pc
+
+    def flush(self) -> None:
+        """Drop all in-flight state (pipeline flush)."""
+        self._entries.clear()

@@ -1,0 +1,122 @@
+"""The Choke Detection Controller (CDC) and the full Trident scheme.
+
+Trident's cycle-by-cycle flow (§4.3.2):
+
+1. **Avoidance** -- the newest CCR instruction's context is compared
+   against the CET.  On a match the CDC inserts the stall count the
+   stored error class dictates (1 for an SE, 2 for a CE), halting the
+   subsequent instructions while the scrutinised pipestage finishes
+   clean.
+2. **Detection** -- on a CET miss, the TDC's illegal-transition count
+   classifies any error that occurs.
+3. **Correction** -- the CDC flushes the pipeline (P penalty cycles) and
+   the CCR supplies the replay address; the EID is recorded for future
+   avoidance.
+
+A predicted SE that actually manifests as a CE is under-stalled: the
+single stall covers the maximum violation but not the trailing minimum
+violation, so detection/correction still fires and the stored class is
+escalated.
+"""
+
+from __future__ import annotations
+
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+from repro.core.scheme_sim import ErrorTrace
+from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.tags import EX_STAGE, ErrorId
+from repro.core.trident.cet import ChokeErrorTable
+from repro.core.trident.tdc import TransitionDetectorCounter
+from repro.timing.dta import ERR_CE, ERR_NONE
+
+
+class TridentScheme(Scheme):
+    """Comprehensive choke-error mitigation (min + max + consecutive)."""
+
+    name = "Trident"
+
+    def __init__(
+        self,
+        cet_capacity: int = 128,
+        pipeline: PipelineConfig = DEFAULT_PIPELINE,
+    ) -> None:
+        self.cet_capacity = cet_capacity
+        self.pipeline = pipeline
+
+    def simulate(self, trace: ErrorTrace) -> SchemeResult:
+        cet = ChokeErrorTable(self.cet_capacity)
+        seen: set[tuple] = set()
+
+        stalls = 0
+        flushes = 0
+        predicted = 0
+        false_positives = 0
+        under_stalled = 0
+        first_occurrences = 0
+        capacity_misses = 0
+
+        instr_sens = trace.instr_sens
+        instr_init = trace.instr_init
+        size_a = trace.size_a
+        size_b = trace.size_b
+        err_class = trace.err_class
+
+        for j in range(len(trace)):
+            key = (
+                int(instr_init[j]),
+                int(instr_sens[j]),
+                bool(size_a[j]),
+                bool(size_b[j]),
+                EX_STAGE,
+            )
+            actual = int(err_class[j])
+            stored = cet.lookup(key)
+            if stored is not None:
+                needed = TransitionDetectorCounter.stall_cycles_for(actual)
+                granted = TransitionDetectorCounter.stall_cycles_for(stored)
+                stalls += granted
+                if actual == ERR_NONE:
+                    false_positives += 1
+                elif granted >= needed:
+                    predicted += 1
+                else:
+                    # Predicted an SE, got a CE: the stall was insufficient,
+                    # the trailing violation is detected and corrected, and
+                    # the stored class escalates.
+                    under_stalled += 1
+                    flushes += 1
+                    cet.insert(
+                        ErrorId(key[0], key[1], key[2], key[3], actual)
+                    )
+            elif actual != ERR_NONE:
+                flushes += 1
+                if key in seen:
+                    capacity_misses += 1
+                else:
+                    first_occurrences += 1
+                    seen.add(key)
+                cet.insert(ErrorId(key[0], key[1], key[2], key[3], actual))
+
+        penalty = stalls * self.pipeline.stall_penalty
+        penalty += flushes * self.pipeline.flush_penalty
+        errors_total = predicted + flushes
+        return SchemeResult(
+            scheme=self.name,
+            benchmark=trace.benchmark,
+            base_cycles=len(trace),
+            penalty_cycles=penalty,
+            effective_clock_period=trace.clock_period,
+            errors_total=errors_total,
+            errors_predicted=predicted,
+            errors_missed=flushes,
+            false_positives=false_positives,
+            stalls=stalls,
+            flushes=flushes,
+            unique_instances=len(seen),
+            extra={
+                "first_occurrences": first_occurrences,
+                "capacity_misses": capacity_misses,
+                "under_stalled": under_stalled,
+                "ce_count": int((err_class == ERR_CE).sum()),
+            },
+        )

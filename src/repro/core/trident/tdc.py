@@ -1,0 +1,82 @@
+"""Transition Detector and Counter (TDC).
+
+Each monitored pipestage owns a TDC: a double-edge-triggered flip-flop
+driven by a *detection clock* whose transparent phase spans the whole
+cycle except a small blanking interval around the system clock's rising
+edge (§4.3.5).  Output-data transitions inside the transparent phase are
+illegal; the TDC counts them per cycle and the count classifies the
+error (Fig. 4.6):
+
+* one illegal transition arriving *before* the minimum path delay
+  constraint -> SE caused by a minimum timing violation,
+* one illegal transition arriving *after* the clock period -> SE caused
+  by a maximum timing violation,
+* two illegal transitions -> CE (a maximum violation immediately
+  followed by a minimum violation; the opposite order spans two
+  detection cycles and is classified as two SEs).
+
+This module expresses those semantics over the per-cycle arrival times
+the timing layer produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timing.dta import ERR_CE, ERR_NONE, ERR_SE_MAX, ERR_SE_MIN
+
+
+@dataclass(frozen=True)
+class TransitionDetectorCounter:
+    """A TDC configured for one pipestage's clocking."""
+
+    clock_period: float  # ps
+    hold_constraint: float  # ps (minimum path delay constraint)
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        if not 0 <= self.hold_constraint < self.clock_period:
+            raise ValueError("hold_constraint must lie within the clock period")
+
+    def count_illegal(self, t_late: np.ndarray, t_early: np.ndarray) -> np.ndarray:
+        """Illegal-transition count per cycle (0, 1, or 2).
+
+        A late transition beyond the clock period spills into the next
+        transparent phase; an early transition before the minimum path
+        delay constraint lands inside the current one.  Both are illegal.
+        """
+        t_late = np.asarray(t_late, dtype=np.float64)
+        t_early = np.asarray(t_early, dtype=np.float64)
+        late_illegal = t_late > self.clock_period
+        early_illegal = t_early < self.hold_constraint
+        return late_illegal.astype(np.int8) + early_illegal.astype(np.int8)
+
+    def classify(self, t_late: np.ndarray, t_early: np.ndarray) -> np.ndarray:
+        """Error class per cycle from the illegal-transition pattern."""
+        t_late = np.asarray(t_late, dtype=np.float64)
+        t_early = np.asarray(t_early, dtype=np.float64)
+        late_illegal = t_late > self.clock_period
+        early_illegal = t_early < self.hold_constraint
+        classes = np.full(t_late.shape, ERR_NONE, dtype=np.int8)
+        classes[early_illegal] = ERR_SE_MIN
+        classes[late_illegal] = ERR_SE_MAX
+        classes[late_illegal & early_illegal] = ERR_CE
+        return classes
+
+    @staticmethod
+    def stall_cycles_for(err_class: int) -> int:
+        """Stall count the avoidance mechanism needs for an error class.
+
+        One stall avoids an SE; a CE's chain of two data corruptions
+        needs two (§4.3.7).
+        """
+        if err_class == ERR_NONE:
+            return 0
+        if err_class in (ERR_SE_MIN, ERR_SE_MAX):
+            return 1
+        if err_class == ERR_CE:
+            return 2
+        raise ValueError(f"unknown error class {err_class}")

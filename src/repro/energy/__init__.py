@@ -1,0 +1,24 @@
+"""Energy and overhead models: EDP metrics and hardware-cost estimation."""
+
+from repro.energy.power import core_power_mw, scheme_energy
+from repro.energy.metrics import EnergyReport, energy_report, normalize_to
+from repro.energy.overheads import (
+    OverheadReport,
+    acslt_gate_count,
+    dcs_overheads,
+    icslt_gate_count,
+    trident_overheads,
+)
+
+__all__ = [
+    "EnergyReport",
+    "OverheadReport",
+    "acslt_gate_count",
+    "core_power_mw",
+    "dcs_overheads",
+    "energy_report",
+    "icslt_gate_count",
+    "normalize_to",
+    "scheme_energy",
+    "trident_overheads",
+]

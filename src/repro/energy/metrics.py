@@ -1,0 +1,79 @@
+"""Comparison metrics: normalised performance and energy efficiency.
+
+All of the paper's scheme comparisons are normalised to Razor:
+performance = Razor's execution time / scheme's execution time (higher
+is better); energy efficiency = Razor's EDP / scheme's EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schemes.base import SchemeResult
+from repro.energy.overheads import OverheadReport
+from repro.energy.power import SchemeEnergy, scheme_energy
+from repro.pv.delaymodel import Corner
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Normalised comparison of one scheme against the baseline."""
+
+    scheme: str
+    benchmark: str
+    normalized_penalty: float
+    normalized_performance: float
+    normalized_efficiency: float
+    energy: SchemeEnergy
+
+
+def energy_report(
+    result: SchemeResult,
+    baseline: SchemeResult,
+    corner: Corner,
+    overhead: OverheadReport | None = None,
+    baseline_overhead: OverheadReport | None = None,
+) -> EnergyReport:
+    """Compare ``result`` against ``baseline`` (normally Razor)."""
+    if result.benchmark != baseline.benchmark:
+        raise ValueError("cannot compare results across benchmarks")
+    energy = scheme_energy(result, corner, overhead)
+    base_energy = scheme_energy(baseline, corner, baseline_overhead)
+    penalty_ratio = (
+        result.penalty_cycles / baseline.penalty_cycles
+        if baseline.penalty_cycles
+        else (0.0 if result.penalty_cycles == 0 else float("inf"))
+    )
+    return EnergyReport(
+        scheme=result.scheme,
+        benchmark=result.benchmark,
+        normalized_penalty=penalty_ratio,
+        normalized_performance=(
+            base_energy.execution_time_ns / energy.execution_time_ns
+        ),
+        normalized_efficiency=base_energy.edp / energy.edp,
+        energy=energy,
+    )
+
+
+def normalize_to(
+    results: dict[str, SchemeResult],
+    corner: Corner,
+    overheads: dict[str, OverheadReport] | None = None,
+    baseline: str = "Razor",
+) -> dict[str, EnergyReport]:
+    """Normalise a {scheme: result} mapping to one baseline scheme."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    overheads = overheads or {}
+    base = results[baseline]
+    return {
+        name: energy_report(
+            result,
+            base,
+            corner,
+            overhead=overheads.get(name),
+            baseline_overhead=overheads.get(baseline),
+        )
+        for name, result in results.items()
+    }

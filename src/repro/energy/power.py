@@ -1,0 +1,89 @@
+"""Core power model and per-run energy accounting.
+
+Energy efficiency in the paper is the reciprocal of the energy-delay
+product, with EDP = P_avg x t_exec x t_exec (§3.5.5).  P_avg is the
+core's average power at the operating corner plus the scheme's power
+overhead (the overhead percentages of §3.5.6 / §4.5.7 are folded in).
+
+Core power scales from an STC reference using CV²f dynamics plus a
+leakage component -- the standard first-order model, sufficient because
+every reported result is *normalised to Razor at the same corner*, so
+only the overhead-driven differences and execution times matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schemes.base import SchemeResult
+from repro.energy.overheads import OverheadReport
+from repro.pv.delaymodel import (
+    Corner,
+    STC,
+    dynamic_energy_factor,
+    leakage_power_factor,
+    nominal_delay_factor,
+)
+
+#: Reference core power at the STC corner (mW), FabScalar-Core-1 scale.
+CORE_POWER_STC_MW = 420.0
+#: Fraction of STC core power that is leakage.
+LEAKAGE_FRACTION_STC = 0.25
+
+
+def core_power_mw(corner: Corner) -> float:
+    """Average core power at ``corner`` (mW).
+
+    Dynamic power scales with V² and with frequency (1/delay factor);
+    leakage scales with the corner's leakage factor only.
+    """
+    dynamic_stc = CORE_POWER_STC_MW * (1.0 - LEAKAGE_FRACTION_STC)
+    leakage_stc = CORE_POWER_STC_MW * LEAKAGE_FRACTION_STC
+    frequency_ratio = nominal_delay_factor(STC) / nominal_delay_factor(corner)
+    dynamic = dynamic_stc * dynamic_energy_factor(corner) * frequency_ratio
+    leakage = leakage_stc * leakage_power_factor(corner)
+    return dynamic + leakage
+
+
+@dataclass(frozen=True)
+class SchemeEnergy:
+    """Energy/EDP figures of one scheme run."""
+
+    scheme: str
+    benchmark: str
+    execution_time_ns: float
+    average_power_mw: float
+    energy_nj: float
+    edp: float  # nJ x ns
+
+    @property
+    def efficiency(self) -> float:
+        """Energy efficiency = 1 / EDP."""
+        return 1.0 / self.edp if self.edp > 0 else float("inf")
+
+
+def scheme_energy(
+    result: SchemeResult,
+    corner: Corner,
+    overhead: OverheadReport | None = None,
+) -> SchemeEnergy:
+    """Energy accounting for one scheme result at ``corner``.
+
+    ``overhead`` carries the scheme's power overhead (None for schemes
+    that add no table hardware, e.g. Razor's baseline bookkeeping is
+    considered part of the core).
+    """
+    power = core_power_mw(corner)
+    if overhead is not None:
+        power *= 1.0 + overhead.power_fraction
+    time_ns = result.execution_time_ps / 1000.0
+    energy_nj = power * 1e-3 * time_ns  # mW x ns = pJ; /1e3 -> nJ
+    edp = energy_nj * time_ns
+    return SchemeEnergy(
+        scheme=result.scheme,
+        benchmark=result.benchmark,
+        execution_time_ns=time_ns,
+        average_power_mw=power,
+        energy_nj=energy_nj,
+        edp=edp,
+    )

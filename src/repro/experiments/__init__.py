@@ -1,0 +1,25 @@
+"""Experiment harness: one module per reproduced figure/table.
+
+Every experiment module exposes ``run(ctx) -> ExperimentResult``; the
+registry in :mod:`repro.experiments.registry` maps experiment ids
+(``fig3_2`` ... ``tab4_ovh``) to those functions, and
+``python -m repro.experiments <id>`` regenerates the corresponding
+figure's rows.
+"""
+
+from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "ExperimentResult",
+    "FAST_CONFIG",
+    "Table",
+    "get_experiment",
+    "run_experiment",
+]

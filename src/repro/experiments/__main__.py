@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate any (or all) paper figures.
+
+Examples::
+
+    python -m repro.experiments fig3_10
+    python -m repro.experiments all --cycles 50000
+    python -m repro.experiments fig4_8 fig4_9 --fast --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import ExperimentContext
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down configuration (16-bit ALU, short traces)",
+    )
+    parser.add_argument("--cycles", type=int, help="override trace length")
+    parser.add_argument("--width", type=int, help="override ALU width")
+    parser.add_argument("--out", help="also write the report to this file")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format for --out (stdout always prints text)",
+    )
+    args = parser.parse_args(argv)
+
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    if args.cycles:
+        config = replace(config, cycles=args.cycles)
+    if args.width:
+        config = replace(config, width=args.width)
+
+    ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            parser.error(f"unknown experiment {experiment_id!r}")
+
+    ctx = ExperimentContext(config)
+    results = []
+    for experiment_id in ids:
+        start = time.time()
+        result = get_experiment(experiment_id)(ctx)
+        results.append(result)
+        print(result.to_text())
+        print(f"[{experiment_id} completed in {time.time() - start:.1f}s]\n")
+
+    if args.out:
+        if args.format == "json":
+            import json
+
+            payload = json.dumps([r.to_dict() for r in results], indent=2)
+        elif args.format == "csv":
+            payload = "".join(r.to_csv() for r in results)
+        else:
+            payload = "\n\n".join(r.to_text() for r in results) + "\n"
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

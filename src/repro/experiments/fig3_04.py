@@ -1,0 +1,43 @@
+"""Fig. 3.4 -- errant vs error-free occurrence percentages in vortex.
+
+Runs the vortex benchmark on the Chapter-3 reference chip and reports,
+for the paper's eight featured instructions, the share of dynamic
+occurrences that cause a (maximum) timing error.
+
+Expected shape: both extremes exist -- some instructions err on (almost)
+every occurrence, others are mostly error-free -- demonstrating that an
+instruction that erred once cannot be blindly predicted to always err.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import FIG3_4_INSTRS, Instr
+from repro.experiments.report import ExperimentResult, Table, percent
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "errant vs error-free occurrence % per instruction (vortex, NTC)"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_4", TITLE)
+    trace = ctx.ch3_error_trace("vortex")
+    max_err = trace.max_err
+
+    table = Table(
+        "vortex occurrence breakdown",
+        ["instr", "occurrences", "error_pct", "error_free_pct"],
+    )
+    for instr in FIG3_4_INSTRS:
+        mask = trace.instr_sens == int(instr)
+        occurrences = int(mask.sum())
+        errant = int((mask & max_err).sum())
+        table.add_row(
+            Instr(instr).name,
+            occurrences,
+            round(percent(errant, occurrences), 2),
+            round(percent(occurrences - errant, occurrences), 2),
+        )
+    result.tables.append(table)
+    return result

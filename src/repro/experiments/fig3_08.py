@@ -1,0 +1,35 @@
+"""Fig. 3.8 -- DCS-ICSLT prediction accuracy vs table size.
+
+Replays each benchmark's error trace through DCS with 32-, 64-, 128- and
+256-entry ICSLTs and reports prediction accuracy.
+
+Expected shape: accuracy grows with table size and changes minimally
+from 128 to 256 entries (the paper's rationale for choosing 128).
+"""
+
+from __future__ import annotations
+
+from repro.core.dcs import DcsScheme
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "DCS-ICSLT prediction accuracy vs entries"
+
+ENTRY_SIZES = (32, 64, 128, 256)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_8", TITLE)
+    table = Table(
+        "prediction accuracy % (ICSLT)",
+        ["benchmark", *[str(size) for size in ENTRY_SIZES]],
+    )
+    for benchmark in ctx.config.benchmarks:
+        trace = ctx.ch3_error_trace(benchmark)
+        row = [benchmark]
+        for size in ENTRY_SIZES:
+            outcome = DcsScheme("icslt", capacity=size).simulate(trace)
+            row.append(round(outcome.prediction_accuracy * 100.0, 2))
+        table.add_row(*row)
+    result.tables.append(table)
+    return result

@@ -1,0 +1,37 @@
+"""Fig. 3.9 -- DCS-ACSLT prediction accuracy for four table geometries.
+
+Replays each benchmark through DCS-ACSLT with the paper's four
+(entries/associativity) combinations: 16/8, 16/16, 32/8, 32/16.
+
+Expected shape: the 32-entry/16-way configuration yields the best
+accuracy (it is the configuration the paper carries forward).
+"""
+
+from __future__ import annotations
+
+from repro.core.dcs import DcsScheme
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "DCS-ACSLT prediction accuracy for entry/associativity combos"
+
+COMBOS = ((16, 8), (16, 16), (32, 8), (32, 16))
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_9", TITLE)
+    table = Table(
+        "prediction accuracy % (ACSLT)",
+        ["benchmark", *[f"{e}/{a}" for e, a in COMBOS]],
+    )
+    for benchmark in ctx.config.benchmarks:
+        trace = ctx.ch3_error_trace(benchmark)
+        row = [benchmark]
+        for entries, assoc in COMBOS:
+            outcome = DcsScheme(
+                "acslt", capacity=entries, associativity=assoc
+            ).simulate(trace)
+            row.append(round(outcome.prediction_accuracy * 100.0, 2))
+        table.add_row(*row)
+    result.tables.append(table)
+    return result

@@ -1,0 +1,36 @@
+"""Fig. 3.10 -- recovery penalty of Razor vs the DCS variants.
+
+Penalty cycles per benchmark, normalised to Razor (lower is better).
+HFG is excluded, as in the paper: its guardband prevents errors, so it
+incurs no recovery penalty (it pays in clock period instead).
+
+Expected shape: both DCS variants well below 1.0 everywhere; benchmarks
+with few unique error instances (mcf) reduce the most, benchmarks with
+many (vortex) the least.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import ch3_runs
+
+TITLE = "normalized recovery penalty (Razor baseline)"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_10", TITLE)
+    table = Table(
+        "penalty cycles normalised to Razor",
+        ["benchmark", "Razor", "DCS-ICSLT", "DCS-ACSLT"],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch3_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            1.0,
+            round(reports["DCS-ICSLT"].normalized_penalty, 3),
+            round(reports["DCS-ACSLT"].normalized_penalty, 3),
+        )
+    result.tables.append(table)
+    return result

@@ -1,0 +1,41 @@
+"""Fig. 3.11 -- performance of Razor / HFG / DCS-ICSLT / DCS-ACSLT.
+
+Execution time per benchmark converted to normalised performance
+(Razor = 1.0, higher is better).
+
+Expected shape: HFG worst (guardband stretches every cycle at NTC),
+Razor in between, DCS variants best, with the largest DCS gain on mcf
+(smallest unique error set).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import CH3_SCHEME_ORDER, ch3_runs
+
+TITLE = "normalized performance, Chapter-3 schemes (Razor baseline)"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_11", TITLE)
+    table = Table(
+        "performance normalised to Razor",
+        ["benchmark", *CH3_SCHEME_ORDER],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch3_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            *[round(reports[s].normalized_performance, 3) for s in CH3_SCHEME_ORDER],
+        )
+    result.tables.append(table)
+    averages = {
+        s: sum(table.column(s)[i] for i in range(len(table.rows))) / len(table.rows)
+        for s in CH3_SCHEME_ORDER
+    }
+    result.notes.append(
+        "averages: "
+        + ", ".join(f"{s}={v:.3f}" for s, v in averages.items())
+    )
+    return result

@@ -1,0 +1,34 @@
+"""Fig. 3.12 -- energy efficiency of Razor / HFG / DCS variants.
+
+Energy efficiency is the reciprocal of the energy-delay product,
+normalised to Razor (higher is better).  DCS table power overheads
+(§3.5.6) are folded into the average power.
+
+Expected shape: DCS variants best (60-73 % over Razor in the paper);
+HFG worst; the ACSLT gain over ICSLT is slimmer here than in the
+performance plot because of its larger power overhead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import CH3_SCHEME_ORDER, ch3_runs
+
+TITLE = "normalized energy efficiency (1/EDP), Chapter-3 schemes"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig3_12", TITLE)
+    table = Table(
+        "energy efficiency normalised to Razor",
+        ["benchmark", *CH3_SCHEME_ORDER],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch3_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            *[round(reports[s].normalized_efficiency, 3) for s in CH3_SCHEME_ORDER],
+        )
+    result.tables.append(table)
+    return result

@@ -1,0 +1,59 @@
+"""Fig. 4.3 -- distribution of erroneous and error-free occurrences.
+
+For the paper's eight featured instructions, aggregated over all six
+benchmarks on the Chapter-4 chip: the share of each instruction's
+dynamic occurrences that cause a maximum timing error, a minimum timing
+error, or no error (a CE counts towards the maximum-violation share, its
+leading transition).
+
+Expected shape: a real mix -- instructions dominated by maximum errors,
+instructions dominated by minimum errors, and instructions with large
+error-free shares, so no single-opcode rule can predict choke errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import FIG4_3_INSTRS, Instr
+from repro.experiments.report import ExperimentResult, Table, percent
+from repro.experiments.runner import ExperimentContext
+from repro.timing.dta import ERR_CE, ERR_SE_MAX, ERR_SE_MIN
+
+TITLE = "max / min / error-free occurrence distribution per instruction"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_3", TITLE)
+    occurrences = {int(i): 0 for i in FIG4_3_INSTRS}
+    max_errors = dict(occurrences)
+    min_errors = dict(occurrences)
+
+    for benchmark in ctx.config.benchmarks:
+        trace = ctx.ch4_error_trace(benchmark)
+        for instr in FIG4_3_INSTRS:
+            mask = trace.instr_sens == int(instr)
+            occurrences[int(instr)] += int(mask.sum())
+            classes = trace.err_class[mask]
+            max_errors[int(instr)] += int(
+                ((classes == ERR_SE_MAX) | (classes == ERR_CE)).sum()
+            )
+            min_errors[int(instr)] += int((classes == ERR_SE_MIN).sum())
+
+    table = Table(
+        "occurrence distribution % (all benchmarks, Chapter-4 chip)",
+        ["instr", "max_err_pct", "min_err_pct", "no_err_pct", "occurrences"],
+    )
+    for instr in FIG4_3_INSTRS:
+        occ = occurrences[int(instr)]
+        mx = percent(max_errors[int(instr)], occ)
+        mn = percent(min_errors[int(instr)], occ)
+        table.add_row(
+            Instr(instr).name,
+            round(mx, 2),
+            round(mn, 2),
+            round(max(0.0, 100.0 - mx - mn), 2),
+            occ,
+        )
+    result.tables.append(table)
+    return result

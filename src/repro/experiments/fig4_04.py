@@ -1,0 +1,63 @@
+"""Fig. 4.4 -- timing errors vs operand sizes of errant instructions.
+
+For each featured instruction, its errors (aggregated over all
+benchmarks on the Chapter-4 chip) are split four ways: maximum errors
+with Large / Small operands, and minimum errors with Large / Small
+operands.  An occurrence counts as "Large" when either operand's
+leftmost set bit lies in the upper half-word.
+
+Expected shape: "Large" operands dominate both error kinds overall
+(they sensitise more paths), but individual instructions (e.g. LUI, XOR
+in the paper) can show balanced shares because even their small
+operands carry many set bits.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import FIG4_3_INSTRS, Instr
+from repro.experiments.report import ExperimentResult, Table, percent
+from repro.experiments.runner import ExperimentContext
+from repro.timing.dta import ERR_CE, ERR_SE_MAX, ERR_SE_MIN
+
+TITLE = "error distribution vs operand size (Large/Small) per instruction"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_4", TITLE)
+    buckets = {int(i): [0, 0, 0, 0] for i in FIG4_3_INSTRS}  # MaxL MaxS MinL MinS
+
+    for benchmark in ctx.config.benchmarks:
+        trace = ctx.ch4_error_trace(benchmark)
+        large = trace.size_a | trace.size_b
+        is_max = (trace.err_class == ERR_SE_MAX) | (trace.err_class == ERR_CE)
+        is_min = trace.err_class == ERR_SE_MIN
+        for instr in FIG4_3_INSTRS:
+            mask = trace.instr_sens == int(instr)
+            bucket = buckets[int(instr)]
+            bucket[0] += int((mask & is_max & large).sum())
+            bucket[1] += int((mask & is_max & ~large).sum())
+            bucket[2] += int((mask & is_min & large).sum())
+            bucket[3] += int((mask & is_min & ~large).sum())
+
+    table = Table(
+        "error share % by kind and operand size",
+        ["instr", "max_large", "max_small", "min_large", "min_small", "errors"],
+    )
+    total_min_large = 0
+    total_min = 0
+    for instr in FIG4_3_INSTRS:
+        bucket = buckets[int(instr)]
+        total = sum(bucket)
+        table.add_row(
+            Instr(instr).name,
+            *[round(percent(v, total), 2) for v in bucket],
+            total,
+        )
+        total_min_large += bucket[2]
+        total_min += bucket[2] + bucket[3]
+    result.tables.append(table)
+    result.notes.append(
+        f"across featured instructions, Large operands contribute "
+        f"{percent(total_min_large, total_min):.1f}% of minimum timing errors."
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Fig. 4.9 -- choke error prediction accuracy vs CET size.
+
+Replays each benchmark through Trident with 32- to 512-entry Choke
+Error Tables.
+
+Expected shape: a noticeable rise up to 128 entries and a marginal gain
+(paper: ~2.3 %) from 128 to 512, motivating the 128-entry choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.trident import TridentScheme
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "Trident prediction accuracy vs CET entries"
+
+CET_SIZES = (32, 64, 128, 256, 512)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_9", TITLE)
+    table = Table(
+        "prediction accuracy % (CET)",
+        ["benchmark", *[str(size) for size in CET_SIZES]],
+    )
+    accumulator = {size: [] for size in CET_SIZES}
+    for benchmark in ctx.config.benchmarks:
+        trace = ctx.ch4_error_trace(benchmark)
+        row = [benchmark]
+        for size in CET_SIZES:
+            outcome = TridentScheme(cet_capacity=size).simulate(trace)
+            accuracy = outcome.prediction_accuracy * 100.0
+            row.append(round(accuracy, 2))
+            accumulator[size].append(accuracy)
+        table.add_row(*row)
+    result.tables.append(table)
+    averages = {
+        size: sum(values) / len(values) for size, values in accumulator.items()
+    }
+    result.notes.append(
+        "average accuracy: "
+        + ", ".join(f"{size}e={avg:.2f}%" for size, avg in averages.items())
+    )
+    return result

@@ -1,0 +1,33 @@
+"""Fig. 4.10 -- normalized penalty cycles of Razor / OCST / Trident.
+
+Penalty cycles per benchmark normalised to Razor (lower is better).
+As in the paper, Trident's count covers *both* minimum and maximum
+timing errors while Razor's and OCST's cover only maximum violations.
+
+Expected shape: Trident lowest everywhere thanks to its avoidance
+mechanism, despite being charged for more error classes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import CH4_SCHEME_ORDER, ch4_runs
+
+TITLE = "normalized penalty cycles, Chapter-4 schemes (Razor baseline)"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_10", TITLE)
+    table = Table(
+        "penalty cycles normalised to Razor",
+        ["benchmark", *CH4_SCHEME_ORDER],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch4_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            *[round(reports[s].normalized_penalty, 3) for s in CH4_SCHEME_ORDER],
+        )
+    result.tables.append(table)
+    return result

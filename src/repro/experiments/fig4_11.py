@@ -1,0 +1,40 @@
+"""Fig. 4.11 -- performance of Razor / OCST / Trident.
+
+Execution time per benchmark converted to normalised performance
+(Razor = 1.0, higher is better).
+
+Expected shape: Trident best on (nearly) every benchmark; our OCST sits
+at ~Razor rather than the paper's +58 % because the simulated error
+population is choke-dominated, leaving OCST's bounded skew range little
+to tune away (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import CH4_SCHEME_ORDER, ch4_runs
+
+TITLE = "normalized performance, Chapter-4 schemes (Razor baseline)"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_11", TITLE)
+    table = Table(
+        "performance normalised to Razor",
+        ["benchmark", *CH4_SCHEME_ORDER],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch4_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            *[round(reports[s].normalized_performance, 3) for s in CH4_SCHEME_ORDER],
+        )
+    result.tables.append(table)
+    averages = {
+        s: sum(table.column(s)) / len(table.rows) for s in CH4_SCHEME_ORDER
+    }
+    result.notes.append(
+        "averages: " + ", ".join(f"{s}={v:.3f}" for s, v in averages.items())
+    )
+    return result

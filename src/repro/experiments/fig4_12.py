@@ -1,0 +1,32 @@
+"""Fig. 4.12 -- energy efficiency of Razor / OCST / Trident.
+
+Reciprocal energy-delay product per benchmark, normalised to Razor,
+with Trident's power overhead (§4.5.7) folded in.
+
+Expected shape: Trident best everywhere (paper: +54 % over Razor on
+average, gzip peaking).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheme_runs import CH4_SCHEME_ORDER, ch4_runs
+
+TITLE = "normalized energy efficiency (1/EDP), Chapter-4 schemes"
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("fig4_12", TITLE)
+    table = Table(
+        "energy efficiency normalised to Razor",
+        ["benchmark", *CH4_SCHEME_ORDER],
+    )
+    for benchmark in ctx.config.benchmarks:
+        _results, reports = ch4_runs(ctx, benchmark)
+        table.add_row(
+            benchmark,
+            *[round(reports[s].normalized_efficiency, 3) for s in CH4_SCHEME_ORDER],
+        )
+    result.tables.append(table)
+    return result

@@ -1,0 +1,71 @@
+"""Registry of all reproduced experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig3_02,
+    fig3_03,
+    fig3_04,
+    fig3_08,
+    fig3_09,
+    fig3_10,
+    fig3_11,
+    fig3_12,
+    fig4_02,
+    fig4_03,
+    fig4_04,
+    fig4_08,
+    fig4_09,
+    fig4_10,
+    fig4_11,
+    fig4_12,
+    tab3_overheads,
+    tab4_overheads,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+
+EXPERIMENTS: dict[str, tuple[Callable[[ExperimentContext], ExperimentResult], str]] = {
+    "fig3_2": (fig3_02.run, fig3_02.TITLE),
+    "fig3_3": (fig3_03.run, fig3_03.TITLE),
+    "fig3_4": (fig3_04.run, fig3_04.TITLE),
+    "fig3_8": (fig3_08.run, fig3_08.TITLE),
+    "fig3_9": (fig3_09.run, fig3_09.TITLE),
+    "fig3_10": (fig3_10.run, fig3_10.TITLE),
+    "fig3_11": (fig3_11.run, fig3_11.TITLE),
+    "fig3_12": (fig3_12.run, fig3_12.TITLE),
+    "tab3_ovh": (tab3_overheads.run, tab3_overheads.TITLE),
+    "fig4_2": (fig4_02.run, fig4_02.TITLE),
+    "fig4_3": (fig4_03.run, fig4_03.TITLE),
+    "fig4_4": (fig4_04.run, fig4_04.TITLE),
+    "fig4_8": (fig4_08.run, fig4_08.TITLE),
+    "fig4_9": (fig4_09.run, fig4_09.TITLE),
+    "fig4_10": (fig4_10.run, fig4_10.TITLE),
+    "fig4_11": (fig4_11.run, fig4_11.TITLE),
+    "fig4_12": (fig4_12.run, fig4_12.TITLE),
+    "tab4_ovh": (tab4_overheads.run, tab4_overheads.TITLE),
+    "abl_tags": (ablations.run_tag_granularity, ablations.TAG_TITLE),
+    "abl_hold": (ablations.run_hold_margin, ablations.HOLD_TITLE),
+    "abl_dbuf": (ablations.run_dbuf_sensitivity, ablations.DBUF_TITLE),
+    "abl_adder": (ablations.run_adder_topology, ablations.ADDER_TITLE),
+}
+
+
+def get_experiment(experiment_id: str):
+    """The run callable for one experiment id."""
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[experiment_id][0]
+
+
+def run_experiment(
+    experiment_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment (with a fresh default context if none given)."""
+    if ctx is None:
+        ctx = ExperimentContext()
+    return get_experiment(experiment_id)(ctx)

@@ -1,0 +1,102 @@
+"""Shared experiment context: builds and caches the expensive artefacts.
+
+Figures within a chapter share the same stage / chip / benchmark timing
+runs; the context memoises them so regenerating all seventeen
+experiments costs one dynamic-timing pass per (chip, benchmark) rather
+than seventeen.
+"""
+
+from __future__ import annotations
+
+from repro.arch.trace import BENCHMARKS, InstructionTrace, generate_trace
+from repro.circuits.alu import Alu, build_alu
+from repro.circuits.ex_stage import ExStage, build_ex_stage
+from repro.core.scheme_sim import ErrorTrace, build_error_trace
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.pv.chip import ChipSample, fabricate_chip
+from repro.pv.delaymodel import NTC, STC, Corner
+from repro.timing.levelize import LevelizedCircuit, levelize
+
+_CORNERS = {"STC": STC, "NTC": NTC}
+
+
+class ExperimentContext:
+    """Memoised factory for stages, chips, traces, and error traces."""
+
+    def __init__(self, config: ExperimentConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._stages: dict[tuple, ExStage] = {}
+        self._alus: dict[tuple, tuple[Alu, LevelizedCircuit]] = {}
+        self._chips: dict[tuple, ChipSample] = {}
+        self._traces: dict[tuple, InstructionTrace] = {}
+        self._error_traces: dict[tuple, ErrorTrace] = {}
+        #: scratch memo for experiment modules sharing derived results
+        self.memo: dict = {}
+
+    # ------------------------------------------------------------------
+    def corner(self, name: str) -> Corner:
+        return _CORNERS[name]
+
+    def stage(self, corner: str = "NTC", buffered: bool = True) -> ExStage:
+        key = (corner, buffered, self.config.width)
+        if key not in self._stages:
+            self._stages[key] = build_ex_stage(
+                self.config.width, self.corner(corner), buffered=buffered
+            )
+        return self._stages[key]
+
+    def bare_alu(self, corner: str = "NTC") -> tuple[Alu, LevelizedCircuit]:
+        """The raw (bufferless, clockless) ALU used by the per-op studies."""
+        key = ("alu", self.config.width)
+        if key not in self._alus:
+            alu = build_alu(self.config.width)
+            self._alus[key] = (alu, levelize(alu.netlist))
+        return self._alus[key]
+
+    def chip(
+        self, seed: int, corner: str = "NTC", buffered: bool = True
+    ) -> ChipSample:
+        key = ("stage", seed, corner, buffered, self.config.width)
+        if key not in self._chips:
+            stage = self.stage(corner, buffered)
+            self._chips[key] = stage.fabricate(seed=seed)
+        return self._chips[key]
+
+    def alu_chip(self, seed: int, corner: str) -> ChipSample:
+        """A fabricated instance of the bare ALU at ``corner``."""
+        key = ("alu", seed, corner, self.config.width)
+        if key not in self._chips:
+            alu, _ = self.bare_alu(corner)
+            self._chips[key] = fabricate_chip(alu.netlist, self.corner(corner), seed)
+        return self._chips[key]
+
+    def trace(self, benchmark: str) -> InstructionTrace:
+        key = (benchmark, self.config.cycles, self.config.width)
+        if key not in self._traces:
+            self._traces[key] = generate_trace(
+                BENCHMARKS[benchmark], self.config.cycles, width=self.config.width
+            )
+        return self._traces[key]
+
+    def error_trace(
+        self,
+        benchmark: str,
+        chip_seed: int,
+        corner: str = "NTC",
+        buffered: bool = True,
+    ) -> ErrorTrace:
+        key = (benchmark, chip_seed, corner, buffered, self.config.cycles, self.config.width)
+        if key not in self._error_traces:
+            stage = self.stage(corner, buffered)
+            chip = self.chip(chip_seed, corner, buffered)
+            self._error_traces[key] = build_error_trace(
+                stage, chip, self.trace(benchmark), chunk=self.config.chunk
+            )
+        return self._error_traces[key]
+
+    # convenience accessors for the two reference chips ------------------
+    def ch3_error_trace(self, benchmark: str) -> ErrorTrace:
+        return self.error_trace(benchmark, self.config.ch3_chip_seed)
+
+    def ch4_error_trace(self, benchmark: str) -> ErrorTrace:
+        return self.error_trace(benchmark, self.config.ch4_chip_seed)

@@ -1,0 +1,72 @@
+"""Shared scheme-comparison runs for the Chapter-3 and Chapter-4 figures.
+
+Figures 3.10-3.12 plot different views of the same four scheme runs per
+benchmark, and Figures 4.10-4.12 the same three; these helpers run each
+comparison once per benchmark and memoise the normalised reports in the
+experiment context.
+"""
+
+from __future__ import annotations
+
+from repro.core.dcs import DcsScheme
+from repro.core.schemes import HfgScheme, OcstScheme, RazorScheme
+from repro.core.schemes.base import SchemeResult
+from repro.core.trident import TridentScheme
+from repro.energy.metrics import EnergyReport, normalize_to
+from repro.energy.overheads import dcs_overheads, trident_overheads
+from repro.experiments.runner import ExperimentContext
+from repro.pv.delaymodel import NTC
+
+#: Table geometries the paper carries into the comparisons.
+ICSLT_ENTRIES = 128
+ACSLT_ENTRIES = 32
+ACSLT_WAYS = 16
+CET_ENTRIES = 128
+
+CH3_SCHEME_ORDER = ("Razor", "HFG", "DCS-ICSLT", "DCS-ACSLT")
+CH4_SCHEME_ORDER = ("Razor", "OCST", "Trident")
+
+
+def ch3_runs(
+    ctx: ExperimentContext, benchmark: str
+) -> tuple[dict[str, SchemeResult], dict[str, EnergyReport]]:
+    """Razor / HFG / DCS-ICSLT / DCS-ACSLT on the Chapter-3 chip."""
+    key = ("ch3_runs", benchmark)
+    if key not in ctx.memo:
+        trace = ctx.ch3_error_trace(benchmark)
+        results = {
+            scheme.name: scheme.simulate(trace)
+            for scheme in (
+                RazorScheme(),
+                HfgScheme(),
+                DcsScheme("icslt", capacity=ICSLT_ENTRIES),
+                DcsScheme("acslt", capacity=ACSLT_ENTRIES, associativity=ACSLT_WAYS),
+            )
+        }
+        overheads = {
+            "DCS-ICSLT": dcs_overheads("icslt", ICSLT_ENTRIES),
+            "DCS-ACSLT": dcs_overheads("acslt", ACSLT_ENTRIES, ACSLT_WAYS),
+        }
+        ctx.memo[key] = (results, normalize_to(results, NTC, overheads))
+    return ctx.memo[key]
+
+
+def ch4_runs(
+    ctx: ExperimentContext, benchmark: str
+) -> tuple[dict[str, SchemeResult], dict[str, EnergyReport]]:
+    """Razor / OCST / Trident on the Chapter-4 chip."""
+    key = ("ch4_runs", benchmark)
+    if key not in ctx.memo:
+        trace = ctx.ch4_error_trace(benchmark)
+        interval = max(500, min(5000, len(trace) // 4))
+        results = {
+            scheme.name: scheme.simulate(trace)
+            for scheme in (
+                RazorScheme(),
+                OcstScheme(interval=interval),
+                TridentScheme(cet_capacity=CET_ENTRIES),
+            )
+        }
+        overheads = {"Trident": trident_overheads(CET_ENTRIES)}
+        ctx.memo[key] = (results, normalize_to(results, NTC, overheads))
+    return ctx.memo[key]

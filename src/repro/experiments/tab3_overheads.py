@@ -1,0 +1,45 @@
+"""Section 3.5.6 -- DCS hardware overheads.
+
+Gate counts and area/wirelength/power overheads of the two DCS variants,
+from the parametric estimator, side by side with the paper's reported
+values.
+"""
+
+from __future__ import annotations
+
+from repro.energy.overheads import dcs_overheads
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "DCS hardware overheads (gate count, area, wirelength, power)"
+
+#: (total gates, CSLT gates, area %, wirelength %, power %) from §3.5.6.
+PAPER_VALUES = {
+    "DCS-ICSLT": (1553, 567, 0.23, 0.77, 0.85),
+    "DCS-ACSLT": (3241, 2255, 0.48, 0.85, 1.20),
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("tab3_ovh", TITLE)
+    table = Table(
+        "estimated vs paper-reported overheads",
+        [
+            "scheme", "gates", "gates_paper", "cslt_gates", "cslt_paper",
+            "area%", "area%_paper", "wire%", "wire%_paper",
+            "power%", "power%_paper",
+        ],
+    )
+    for variant, entries, assoc in (("icslt", 128, 1), ("acslt", 32, 16)):
+        report = dcs_overheads(variant, entries, assoc)
+        paper = PAPER_VALUES[report.scheme]
+        table.add_row(
+            report.scheme,
+            report.total_gates, paper[0],
+            report.storage_gates, paper[1],
+            round(report.area_percent, 3), paper[2],
+            round(report.wirelength_percent, 3), paper[3],
+            round(report.power_percent, 3), paper[4],
+        )
+    result.tables.append(table)
+    return result

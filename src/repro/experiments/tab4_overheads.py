@@ -1,0 +1,35 @@
+"""Section 4.5.7 -- Trident hardware overheads.
+
+Estimated area/wirelength/power overheads of the Trident components
+relative to the whole pipeline, next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from repro.energy.overheads import trident_overheads
+from repro.experiments.report import ExperimentResult, Table
+from repro.experiments.runner import ExperimentContext
+
+TITLE = "Trident hardware overheads"
+
+#: (area %, wirelength %, power %) relative to the pipeline, from §4.5.7.
+PAPER_VALUES = (0.97, 1.12, 1.58)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult("tab4_ovh", TITLE)
+    report = trident_overheads(cet_entries=128)
+    table = Table(
+        "estimated vs paper-reported overheads (pipeline-relative)",
+        ["scheme", "gates", "area%", "area%_paper", "wire%", "wire%_paper",
+         "power%", "power%_paper"],
+    )
+    table.add_row(
+        report.scheme,
+        report.total_gates,
+        round(report.area_percent, 3), PAPER_VALUES[0],
+        round(report.wirelength_percent, 3), PAPER_VALUES[1],
+        round(report.power_percent, 3), PAPER_VALUES[2],
+    )
+    result.tables.append(table)
+    return result

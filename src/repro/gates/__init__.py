@@ -1,0 +1,28 @@
+"""Gate-level substrate: standard-cell library, netlists, and builders.
+
+This package replaces the NanGate 15 nm FinFET standard-cell library and the
+Synopsys Design Compiler netlists used by the paper.  It provides:
+
+* :mod:`repro.gates.celllib` -- a small combinational cell library with
+  per-cell nominal delay, area, and switching-energy coefficients,
+* :mod:`repro.gates.netlist` -- an append-only, topologically-ordered
+  netlist data structure,
+* :mod:`repro.gates.builder` -- a convenience builder with bit- and
+  word-level construction helpers,
+* :mod:`repro.gates.validate` -- structural sanity checks.
+"""
+
+from repro.gates.celllib import CELL_LIBRARY, CellSpec, GateKind
+from repro.gates.netlist import Netlist
+from repro.gates.builder import NetlistBuilder
+from repro.gates.validate import NetlistValidationError, validate_netlist
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellSpec",
+    "GateKind",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistValidationError",
+    "validate_netlist",
+]

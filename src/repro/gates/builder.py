@@ -1,0 +1,159 @@
+"""Convenience builder for structural netlist construction.
+
+The builder offers bit-level gate helpers (returning node ids) and
+word-level helpers (returning lists of node ids, LSB first), which is how
+the arithmetic circuits in :mod:`repro.circuits` are written.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gates.celllib import GateKind
+from repro.gates.netlist import Netlist
+
+Word = list[int]
+
+
+class NetlistBuilder:
+    """Builds a :class:`~repro.gates.netlist.Netlist` incrementally."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.netlist = Netlist(name)
+        self._const_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> int:
+        return self.netlist.add(GateKind.INPUT, (), name=name)
+
+    def input_word(self, name: str, width: int) -> Word:
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def const(self, value: int) -> int:
+        """A constant 0/1 source (cached, one node per value)."""
+        value = int(bool(value))
+        if value not in self._const_cache:
+            kind = GateKind.CONST1 if value else GateKind.CONST0
+            self._const_cache[value] = self.netlist.add(kind, (), name=f"const{value}")
+        return self._const_cache[value]
+
+    # ------------------------------------------------------------------
+    # bit-level gates
+    # ------------------------------------------------------------------
+    def buf(self, a: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.BUF, (a,), name=name)
+
+    def dbuf(self, a: int, name: str | None = None) -> int:
+        """Delay buffer (hold-fix cell); logically identical to ``buf``."""
+        return self.netlist.add(GateKind.DBUF, (a,), name=name)
+
+    def dbuf_chain(self, a: int, count: int) -> int:
+        """A series chain of ``count`` delay buffers (identity for 0)."""
+        node = a
+        for _ in range(count):
+            node = self.dbuf(node)
+        return node
+
+    def not_(self, a: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.INV, (a,), name=name)
+
+    def and_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.AND2, (a, b), name=name)
+
+    def or_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.OR2, (a, b), name=name)
+
+    def nand_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.NAND2, (a, b), name=name)
+
+    def nor_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.NOR2, (a, b), name=name)
+
+    def xor_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.XOR2, (a, b), name=name)
+
+    def xnor_(self, a: int, b: int, name: str | None = None) -> int:
+        return self.netlist.add(GateKind.XNOR2, (a, b), name=name)
+
+    def mux(self, sel: int, a: int, b: int, name: str | None = None) -> int:
+        """``b if sel else a`` (a 2:1 multiplexer)."""
+        return self.netlist.add(GateKind.MUX2, (a, b, sel), name=name)
+
+    # ------------------------------------------------------------------
+    # reduction trees
+    # ------------------------------------------------------------------
+    def _tree(self, op, bits: Sequence[int]) -> int:
+        bits = list(bits)
+        if not bits:
+            raise ValueError("reduction over an empty bit list")
+        while len(bits) > 1:
+            nxt = []
+            for i in range(0, len(bits) - 1, 2):
+                nxt.append(op(bits[i], bits[i + 1]))
+            if len(bits) % 2:
+                nxt.append(bits[-1])
+            bits = nxt
+        return bits[0]
+
+    def and_many(self, bits: Sequence[int]) -> int:
+        """Balanced AND tree over ``bits``."""
+        return self._tree(self.and_, bits)
+
+    def or_many(self, bits: Sequence[int]) -> int:
+        """Balanced OR tree over ``bits``."""
+        return self._tree(self.or_, bits)
+
+    def xor_many(self, bits: Sequence[int]) -> int:
+        """Balanced XOR tree over ``bits``."""
+        return self._tree(self.xor_, bits)
+
+    # ------------------------------------------------------------------
+    # word-level helpers
+    # ------------------------------------------------------------------
+    def buf_word(self, word: Word) -> Word:
+        return [self.buf(bit) for bit in word]
+
+    def not_word(self, word: Word) -> Word:
+        return [self.not_(bit) for bit in word]
+
+    def bitwise(self, op, a: Word, b: Word) -> Word:
+        if len(a) != len(b):
+            raise ValueError(f"word width mismatch: {len(a)} vs {len(b)}")
+        return [op(x, y) for x, y in zip(a, b)]
+
+    def and_word(self, a: Word, b: Word) -> Word:
+        return self.bitwise(self.and_, a, b)
+
+    def or_word(self, a: Word, b: Word) -> Word:
+        return self.bitwise(self.or_, a, b)
+
+    def xor_word(self, a: Word, b: Word) -> Word:
+        return self.bitwise(self.xor_, a, b)
+
+    def nor_word(self, a: Word, b: Word) -> Word:
+        return self.bitwise(self.nor_, a, b)
+
+    def mux_word(self, sel: int, a: Word, b: Word) -> Word:
+        """Per-bit 2:1 mux: ``b if sel else a``."""
+        if len(a) != len(b):
+            raise ValueError(f"word width mismatch: {len(a)} vs {len(b)}")
+        return [self.mux(sel, x, y) for x, y in zip(a, b)]
+
+    def zero_word(self, width: int) -> Word:
+        return [self.const(0)] * width
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def output(self, name: str, node_id: int) -> None:
+        self.netlist.mark_output(name, node_id)
+
+    def output_word(self, name: str, word: Word) -> None:
+        for i, bit in enumerate(word):
+            self.netlist.mark_output(f"{name}[{i}]", bit)
+
+    def build(self) -> Netlist:
+        """Return the completed netlist."""
+        return self.netlist

@@ -1,0 +1,134 @@
+"""Combinational standard-cell library.
+
+The paper synthesises its circuits on the NanGate 15 nm FinFET Open Cell
+Library and characterises the basic gates with HSPICE Monte Carlo runs on
+the 16 nm PTM multigate models.  Neither is available here, so this module
+defines a compact cell library with *relative* per-cell coefficients that
+stand in for the library characterisation data:
+
+* ``delay_coeff`` -- intrinsic propagation-delay coefficient in picoseconds
+  at the reference corner (super-threshold, nominal Vth).  The actual delay
+  of a fabricated gate instance is ``delay_coeff`` scaled by the
+  voltage/threshold-dependent drive factor from
+  :mod:`repro.pv.delaymodel`.
+* ``area_um2`` -- cell area used by the overhead estimator.
+* ``energy_fj`` -- dynamic switching energy per output transition at the
+  reference corner; scaled quadratically with Vdd by the energy model.
+* ``leakage_nw`` -- leakage power used for static-energy accounting.
+
+Absolute values are plausible for a 15/16 nm FinFET node but only their
+*ratios* matter for the reproduced results.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class GateKind(enum.IntEnum):
+    """Node kinds supported by the netlist and the timing engine.
+
+    ``INPUT``, ``CONST0`` and ``CONST1`` are sources (zero delay, no
+    fanin/constant fanin); the remaining kinds are combinational cells.
+    ``MUX2`` computes ``in1 if sel else in0`` with fanins
+    ``(in0, in1, sel)``.
+    """
+
+    INPUT = 0
+    CONST0 = 1
+    CONST1 = 2
+    BUF = 3
+    INV = 4
+    AND2 = 5
+    OR2 = 6
+    NAND2 = 7
+    NOR2 = 8
+    XOR2 = 9
+    XNOR2 = 10
+    MUX2 = 11
+    DBUF = 12  # delay buffer / hold-fix cell: logically a BUF, 4x slower
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static characterisation data for one cell of the library."""
+
+    kind: GateKind
+    num_inputs: int
+    delay_coeff: float  # ps at the reference corner
+    area_um2: float
+    energy_fj: float
+    leakage_nw: float
+
+    @property
+    def is_source(self) -> bool:
+        """True for nodes that originate values (inputs and constants)."""
+        return self.num_inputs == 0
+
+
+CELL_LIBRARY: dict[GateKind, CellSpec] = {
+    spec.kind: spec
+    for spec in (
+        CellSpec(GateKind.INPUT, 0, 0.0, 0.0, 0.0, 0.0),
+        CellSpec(GateKind.CONST0, 0, 0.0, 0.0, 0.0, 0.0),
+        CellSpec(GateKind.CONST1, 0, 0.0, 0.0, 0.0, 0.0),
+        CellSpec(GateKind.BUF, 1, 7.0, 0.294, 0.60, 1.6),
+        CellSpec(GateKind.INV, 1, 4.0, 0.196, 0.40, 1.0),
+        CellSpec(GateKind.AND2, 2, 8.0, 0.294, 0.70, 1.8),
+        CellSpec(GateKind.OR2, 2, 8.5, 0.294, 0.70, 1.8),
+        CellSpec(GateKind.NAND2, 2, 5.5, 0.245, 0.50, 1.4),
+        CellSpec(GateKind.NOR2, 2, 6.5, 0.245, 0.50, 1.4),
+        CellSpec(GateKind.XOR2, 2, 12.0, 0.441, 1.10, 2.6),
+        CellSpec(GateKind.XNOR2, 2, 12.0, 0.441, 1.10, 2.6),
+        CellSpec(GateKind.MUX2, 3, 11.0, 0.441, 1.00, 2.4),
+        CellSpec(GateKind.DBUF, 1, 28.0, 0.392, 0.90, 2.0),
+    )
+}
+
+#: Kinds that evaluate a boolean function of their fanins.
+COMBINATIONAL_KINDS: frozenset[GateKind] = frozenset(
+    kind for kind, spec in CELL_LIBRARY.items() if not spec.is_source
+)
+
+#: Kinds that originate values.
+SOURCE_KINDS: frozenset[GateKind] = frozenset(
+    kind for kind, spec in CELL_LIBRARY.items() if spec.is_source
+)
+
+
+def fanin_count(kind: GateKind) -> int:
+    """Number of fanins required by ``kind``."""
+    return CELL_LIBRARY[kind].num_inputs
+
+
+def evaluate_gate(kind: GateKind, *inputs: int) -> int:
+    """Evaluate one gate on scalar boolean inputs (0/1).
+
+    This is the scalar reference semantics; the vectorised timing engine in
+    :mod:`repro.timing.logic_eval` must agree with it (property-tested).
+    """
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    if kind is GateKind.BUF or kind is GateKind.DBUF:
+        return inputs[0] & 1
+    if kind is GateKind.INV:
+        return (~inputs[0]) & 1
+    if kind is GateKind.AND2:
+        return inputs[0] & inputs[1]
+    if kind is GateKind.OR2:
+        return inputs[0] | inputs[1]
+    if kind is GateKind.NAND2:
+        return (~(inputs[0] & inputs[1])) & 1
+    if kind is GateKind.NOR2:
+        return (~(inputs[0] | inputs[1])) & 1
+    if kind is GateKind.XOR2:
+        return inputs[0] ^ inputs[1]
+    if kind is GateKind.XNOR2:
+        return (~(inputs[0] ^ inputs[1])) & 1
+    if kind is GateKind.MUX2:
+        in0, in1, sel = inputs
+        return in1 if sel else in0
+    raise ValueError(f"cannot evaluate node kind {kind!r}")

@@ -1,0 +1,211 @@
+"""Append-only, topologically-ordered combinational netlist.
+
+A :class:`Netlist` is the central circuit representation.  Nodes are added
+in topological order by construction (every fanin must already exist), so
+downstream consumers (logic evaluation, dynamic timing analysis, static
+timing analysis) can iterate node ids in ascending order without an
+explicit sort.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.gates.celllib import (
+    CELL_LIBRARY,
+    COMBINATIONAL_KINDS,
+    GateKind,
+    fanin_count,
+)
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Sequential boundaries (the pipeline registers around the EX stage) are
+    modelled outside the netlist by the timing engine, matching the paper's
+    methodology of timing one pipestage's combinational cloud per cycle.
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._kinds: list[GateKind] = []
+        self._fanins: list[tuple[int, ...]] = []
+        self._names: dict[int, str] = {}
+        self._outputs: dict[str, int] = {}
+        self._input_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, kind: GateKind, fanins: Iterable[int] = (), name: str | None = None) -> int:
+        """Append a node and return its id.
+
+        Raises ``ValueError`` if the fanin arity is wrong or a fanin refers
+        to a node that does not exist yet (which would break topological
+        order).
+        """
+        fanins = tuple(int(f) for f in fanins)
+        expected = fanin_count(kind)
+        if len(fanins) != expected:
+            raise ValueError(
+                f"{kind.name} expects {expected} fanins, got {len(fanins)}"
+            )
+        node_id = len(self._kinds)
+        for fanin in fanins:
+            if not 0 <= fanin < node_id:
+                raise ValueError(
+                    f"fanin {fanin} of new node {node_id} is not an existing node"
+                )
+        self._kinds.append(kind)
+        self._fanins.append(fanins)
+        if name is not None:
+            self._names[node_id] = name
+        if kind is GateKind.INPUT:
+            self._input_ids.append(node_id)
+        return node_id
+
+    def mark_output(self, name: str, node_id: int) -> None:
+        """Register ``node_id`` as the primary output called ``name``."""
+        if not 0 <= node_id < len(self._kinds):
+            raise ValueError(f"output {name!r} refers to unknown node {node_id}")
+        if name in self._outputs:
+            raise ValueError(f"duplicate output name {name!r}")
+        self._outputs[name] = node_id
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count, sources included."""
+        return len(self._kinds)
+
+    @property
+    def num_gates(self) -> int:
+        """Count of combinational cells (sources excluded)."""
+        return sum(1 for kind in self._kinds if kind in COMBINATIONAL_KINDS)
+
+    @property
+    def input_ids(self) -> tuple[int, ...]:
+        return tuple(self._input_ids)
+
+    @property
+    def output_ids(self) -> tuple[int, ...]:
+        return tuple(self._outputs.values())
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def outputs(self) -> dict[str, int]:
+        return dict(self._outputs)
+
+    def kind(self, node_id: int) -> GateKind:
+        return self._kinds[node_id]
+
+    def fanins(self, node_id: int) -> tuple[int, ...]:
+        return self._fanins[node_id]
+
+    def name_of(self, node_id: int) -> str:
+        return self._names.get(node_id, f"n{node_id}")
+
+    def iter_nodes(self) -> Iterator[tuple[int, GateKind, tuple[int, ...]]]:
+        """Yield ``(id, kind, fanins)`` in topological order."""
+        for node_id, (kind, fanins) in enumerate(zip(self._kinds, self._fanins)):
+            yield node_id, kind, fanins
+
+    def gate_count_by_kind(self) -> Counter[GateKind]:
+        return Counter(self._kinds)
+
+    # ------------------------------------------------------------------
+    # array views (consumed by the vectorised timing engine)
+    # ------------------------------------------------------------------
+    def kinds_array(self) -> np.ndarray:
+        return np.array([int(kind) for kind in self._kinds], dtype=np.int8)
+
+    def fanin_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fanin ids padded to three columns; unused slots hold ``-1``."""
+        n = len(self._kinds)
+        in0 = np.full(n, -1, dtype=np.int32)
+        in1 = np.full(n, -1, dtype=np.int32)
+        in2 = np.full(n, -1, dtype=np.int32)
+        for node_id, fanins in enumerate(self._fanins):
+            if len(fanins) > 0:
+                in0[node_id] = fanins[0]
+            if len(fanins) > 1:
+                in1[node_id] = fanins[1]
+            if len(fanins) > 2:
+                in2[node_id] = fanins[2]
+        return in0, in1, in2
+
+    # ------------------------------------------------------------------
+    # structural analysis
+    # ------------------------------------------------------------------
+    def fanouts(self) -> list[list[int]]:
+        """For each node, the ids of nodes that consume it."""
+        result: list[list[int]] = [[] for _ in range(len(self._kinds))]
+        for node_id, fanins in enumerate(self._fanins):
+            for fanin in fanins:
+                result[fanin].append(node_id)
+        return result
+
+    def levels(self) -> np.ndarray:
+        """Logic depth of each node (sources are level 0)."""
+        level = np.zeros(len(self._kinds), dtype=np.int32)
+        for node_id, fanins in enumerate(self._fanins):
+            if fanins:
+                level[node_id] = 1 + max(int(level[f]) for f in fanins)
+        return level
+
+    def logic_depth(self) -> int:
+        """Maximum logic depth over primary outputs."""
+        if not self._outputs:
+            return 0
+        level = self.levels()
+        return int(max(level[node_id] for node_id in self._outputs.values()))
+
+    def transitive_fanin(self, node_ids: Iterable[int]) -> set[int]:
+        """All nodes in the cone of influence of ``node_ids`` (inclusive)."""
+        seen: set[int] = set()
+        stack = [int(node_id) for node_id in node_ids]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            stack.extend(self._fanins[node_id])
+        return seen
+
+    def dead_nodes(self) -> set[int]:
+        """Nodes not in the transitive fanin of any primary output."""
+        live = self.transitive_fanin(self._outputs.values())
+        return set(range(len(self._kinds))) - live
+
+    def total_area_um2(self) -> float:
+        return sum(CELL_LIBRARY[kind].area_um2 for kind in self._kinds)
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` for ad-hoc analysis."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for node_id, kind, fanins in self.iter_nodes():
+            graph.add_node(node_id, kind=kind.name, label=self.name_of(node_id))
+            for fanin in fanins:
+                graph.add_edge(fanin, node_id)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, nodes={self.num_nodes}, "
+            f"gates={self.num_gates}, inputs={len(self._input_ids)}, "
+            f"outputs={len(self._outputs)})"
+        )

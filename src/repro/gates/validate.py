@@ -1,0 +1,86 @@
+"""Structural validation of netlists.
+
+These checks correspond to the lint a synthesis flow performs before
+timing: correct arities, topological order, no dangling outputs, and a
+report of logic that no output depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gates.celllib import GateKind, fanin_count
+from repro.gates.netlist import Netlist
+
+
+class NetlistValidationError(Exception):
+    """Raised when a netlist fails a structural check."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_netlist`."""
+
+    num_nodes: int
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    logic_depth: int
+    dead_node_ids: set[int] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return True  # an exception is raised for hard failures
+
+
+def validate_netlist(netlist: Netlist, allow_dead_logic: bool = True) -> ValidationReport:
+    """Check the structural invariants of ``netlist``.
+
+    Hard failures (wrong arity, forward references, no outputs, constant
+    outputs only) raise :class:`NetlistValidationError`.  Dead logic is
+    reported, and rejected only when ``allow_dead_logic`` is False.
+    """
+    if netlist.num_nodes == 0:
+        raise NetlistValidationError("empty netlist")
+    if not netlist.output_ids:
+        raise NetlistValidationError("netlist has no primary outputs")
+
+    for node_id, kind, fanins in netlist.iter_nodes():
+        expected = fanin_count(kind)
+        if len(fanins) != expected:
+            raise NetlistValidationError(
+                f"node {node_id} ({kind.name}) has {len(fanins)} fanins, "
+                f"expected {expected}"
+            )
+        for fanin in fanins:
+            if not 0 <= fanin < node_id:
+                raise NetlistValidationError(
+                    f"node {node_id} references fanin {fanin} out of order"
+                )
+
+    if all(
+        netlist.kind(out) in (GateKind.CONST0, GateKind.CONST1)
+        for out in netlist.output_ids
+    ):
+        raise NetlistValidationError("all primary outputs are constants")
+
+    dead = netlist.dead_nodes()
+    # Inputs are allowed to be unused (e.g. unconnected operand bits of a
+    # narrow operation); only dead *gates* are interesting.
+    dead_gates = {
+        node_id for node_id in dead if fanin_count(netlist.kind(node_id)) > 0
+    }
+    if dead_gates and not allow_dead_logic:
+        raise NetlistValidationError(
+            f"netlist contains {len(dead_gates)} dead gates, e.g. "
+            f"{sorted(dead_gates)[:5]}"
+        )
+
+    return ValidationReport(
+        num_nodes=netlist.num_nodes,
+        num_gates=netlist.num_gates,
+        num_inputs=len(netlist.input_ids),
+        num_outputs=len(netlist.output_ids),
+        logic_depth=netlist.logic_depth(),
+        dead_node_ids=dead_gates,
+    )

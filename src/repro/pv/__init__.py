@@ -1,0 +1,38 @@
+"""Process-variation substrate: delay physics, VARIUS-style ΔVth fields,
+Monte Carlo gate characterisation, and fabricated-chip samples.
+
+This package replaces the paper's device layer (HSPICE on 16 nm PTM
+multigate models, with VARIUS / VARIUS-NTV statistical parameters).
+"""
+
+from repro.pv.delaymodel import (
+    NTC,
+    STC,
+    Corner,
+    VTH_NOMINAL,
+    delay_factor,
+    drive_strength,
+    nominal_gate_delays,
+    nominal_delay_factor,
+)
+from repro.pv.varius import VariusParams, sample_delta_vth, systematic_field
+from repro.pv.chip import ChipSample, fabricate_chip
+from repro.pv.montecarlo import DelayDistribution, characterize_gates
+
+__all__ = [
+    "ChipSample",
+    "Corner",
+    "DelayDistribution",
+    "NTC",
+    "STC",
+    "VTH_NOMINAL",
+    "VariusParams",
+    "characterize_gates",
+    "delay_factor",
+    "drive_strength",
+    "fabricate_chip",
+    "nominal_delay_factor",
+    "nominal_gate_delays",
+    "sample_delta_vth",
+    "systematic_field",
+]

@@ -1,0 +1,145 @@
+"""Fabricated-chip samples: per-gate delays of one post-silicon instance.
+
+A :class:`ChipSample` is one fabricated instance of a netlist at one
+operating corner.  It combines
+
+* the background VARIUS ΔVth field applied to every gate, and
+* a small population of *strongly PV-affected* gates (candidate choke
+  points) drawn from the distribution tail -- the paper limits these to
+  ~2 % of the gate count (§4.2.4) and notes their sign can go either way
+  (slow gates create choke paths; fast gates create choke buffers).
+
+Choke points are an artefact of fabrication: two chips built from the
+same netlist (different seeds) have different choke signatures, which is
+exactly the property DCS and Trident exploit by learning per-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gates.celllib import CELL_LIBRARY
+from repro.gates.netlist import Netlist
+from repro.pv.delaymodel import VTH_NOMINAL, Corner, delay_factor, nominal_gate_delays
+from repro.pv.varius import DEFAULT_PARAMS, VariusParams, sample_delta_vth
+
+
+@dataclass
+class ChipSample:
+    """One fabricated instance of a netlist at a given corner."""
+
+    netlist: Netlist
+    corner: Corner
+    seed: int
+    delta_vth: np.ndarray  # per-node ΔVth, volts
+    delays: np.ndarray  # per-node propagation delay, ps
+    nominal_delays: np.ndarray  # PV-free per-node delay at this corner, ps
+    affected_ids: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.delays)
+
+    def delay_ratio(self) -> np.ndarray:
+        """Per-node delay relative to nominal (1.0 = unaffected); sources 1."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(self.nominal_delays > 0, self.delays / self.nominal_delays, 1.0)
+        return ratio
+
+    def affected_mask(self, ratio_threshold: float = 1.5) -> np.ndarray:
+        """Gates whose delay deviates notably from nominal, either way.
+
+        A gate counts as PV-affected when it is slower than
+        ``ratio_threshold`` x nominal or faster than 1/``ratio_threshold``.
+        """
+        ratio = self.delay_ratio()
+        return (ratio >= ratio_threshold) | (
+            (self.nominal_delays > 0) & (ratio <= 1.0 / ratio_threshold)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChipSample({self.netlist.name!r}, corner={self.corner.name}, "
+            f"seed={self.seed}, strongly_affected={len(self.affected_ids)})"
+        )
+
+
+def fabricate_chip(
+    netlist: Netlist,
+    corner: Corner,
+    seed: int,
+    params: VariusParams = DEFAULT_PARAMS,
+    affected_fraction: float = 0.02,
+    affected_vth_min: float = 0.10,
+    affected_vth_max: float = 0.20,
+    dbuf_sigma_factor: float = 1.0,
+) -> ChipSample:
+    """Fabricate one chip instance.
+
+    ``affected_fraction`` of the combinational gates are designated as
+    strongly PV-affected: their |ΔVth| is redrawn uniformly from the
+    absolute tail [``affected_vth_min``, ``affected_vth_max``] volts with
+    a random sign (positive ΔVth = slow gate, the classic choke point;
+    negative = fast gate, a potential choke buffer).  The default range
+    produces the paper's headline deviations: roughly 4-25x delay at NTC
+    but only 1.5-3x at STC for the *same* ΔVth.  All other gates keep the
+    background VARIUS sample.
+
+    ``dbuf_sigma_factor`` scales the ΔVth of hold-fix delay cells (DBUF)
+    relative to regular cells -- delay cells are built from weak, stacked
+    devices whose matching is poorer, which amplifies the paper's "choke
+    buffer" threat.  It defaults to 1.0 (delay cells match regular cells)
+    and exists for ablation studies; the scaling is applied
+    deterministically after sampling, so a chip's non-DBUF delay
+    assignment is independent of the factor.
+    """
+    if not 0.0 <= affected_fraction <= 1.0:
+        raise ValueError("affected_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    num_nodes = netlist.num_nodes
+    delta_vth = sample_delta_vth(num_nodes, params, rng)
+
+    coeffs = np.array(
+        [CELL_LIBRARY[netlist.kind(node_id)].delay_coeff for node_id in range(num_nodes)],
+        dtype=np.float64,
+    )
+    gate_ids = np.flatnonzero(coeffs > 0)
+
+    num_affected = int(round(affected_fraction * len(gate_ids)))
+    if num_affected > 0:
+        affected_ids = rng.choice(gate_ids, size=num_affected, replace=False)
+        magnitudes = rng.uniform(affected_vth_min, affected_vth_max, size=num_affected)
+        signs = np.where(rng.random(num_affected) < 0.5, -1.0, 1.0)
+        delta_vth[affected_ids] = signs * magnitudes
+    else:
+        affected_ids = np.array([], dtype=np.int64)
+
+    if dbuf_sigma_factor != 1.0:
+        from repro.gates.celllib import GateKind
+
+        dbuf_ids = np.array(
+            [
+                node_id
+                for node_id in range(num_nodes)
+                if netlist.kind(node_id) is GateKind.DBUF
+            ],
+            dtype=np.int64,
+        )
+        if len(dbuf_ids):
+            delta_vth[dbuf_ids] *= dbuf_sigma_factor
+
+    factors = np.asarray(delay_factor(corner.vdd, VTH_NOMINAL + delta_vth))
+    delays = coeffs * factors
+    nominal = nominal_gate_delays(netlist, corner)
+
+    return ChipSample(
+        netlist=netlist,
+        corner=corner,
+        seed=seed,
+        delta_vth=delta_vth,
+        delays=delays,
+        nominal_delays=nominal,
+        affected_ids=np.sort(affected_ids.astype(np.int64)),
+    )

@@ -1,0 +1,123 @@
+"""Trans-regional gate-delay model (the HSPICE/PTM substitute).
+
+The paper obtains gate delay distributions from HSPICE Monte Carlo runs on
+16 nm PTM multigate models at STC (0.8 V) and NTC (0.45 V).  We replace
+the transistor-level simulation with an EKV-style drive-current model that
+interpolates smoothly between the super-threshold (alpha-power-like) and
+sub-threshold (exponential) regimes:
+
+    drive(Vdd, Vth)  ∝  ln(1 + exp((Vdd - Vth) / (2 n vT)))²
+    delay(Vdd, Vth)  ∝  Vdd / drive(Vdd, Vth)
+
+This captures the single mechanism every result in the paper rests on:
+near threshold, (Vdd − Vth) is small, so the same ΔVth that perturbs an
+STC gate delay by tens of percent perturbs an NTC gate delay by up to
+~20x -- the paper's headline PV-sensitivity figure.  Delay factors are
+normalised so a nominal gate at STC has factor 1.0; the cell library's
+``delay_coeff`` carries the per-cell picosecond scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.celllib import CELL_LIBRARY, GateKind
+from repro.gates.netlist import Netlist
+
+#: Nominal threshold voltage of the (FinFET-like) devices, volts.
+VTH_NOMINAL = 0.33
+#: Sub-threshold slope factor n.
+SUBTHRESHOLD_SLOPE = 1.5
+#: Thermal voltage kT/q at ~300 K, volts.
+THERMAL_VOLTAGE = 0.026
+
+
+@dataclass(frozen=True)
+class Corner:
+    """An operating corner (supply voltage regime)."""
+
+    name: str
+    vdd: float
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.vdd:.2f}V)"
+
+
+#: Super-threshold computing corner used throughout the paper.
+STC = Corner("STC", 0.80)
+#: Near-threshold computing corner used throughout the paper.
+NTC = Corner("NTC", 0.45)
+
+
+def drive_strength(vdd: float, vth: np.ndarray | float) -> np.ndarray | float:
+    """Normalised drive current of a device at (vdd, vth).
+
+    Smoothly interpolates between ((Vdd-Vth)/(2 n vT))² above threshold and
+    exp((Vdd-Vth)/(n vT)) below it.
+    """
+    overdrive = (vdd - np.asarray(vth, dtype=float)) / (
+        2.0 * SUBTHRESHOLD_SLOPE * THERMAL_VOLTAGE
+    )
+    soft = np.log1p(np.exp(np.minimum(overdrive, 50.0)))
+    # For large overdrive log1p(exp(x)) == x exactly to float precision;
+    # the clamp above only avoids overflow in exp.
+    soft = np.where(overdrive > 50.0, overdrive, soft)
+    result = soft * soft
+    if np.isscalar(vth) or (isinstance(vth, np.ndarray) and vth.ndim == 0):
+        return float(result)
+    return result
+
+
+#: Reference drive: a nominal device at the STC corner.
+_REFERENCE_DELAY = STC.vdd / drive_strength(STC.vdd, VTH_NOMINAL)
+
+
+def delay_factor(vdd: float, vth: np.ndarray | float) -> np.ndarray | float:
+    """Delay multiplier relative to a nominal gate at STC.
+
+    ``delay_factor(STC.vdd, VTH_NOMINAL) == 1.0`` by construction; larger
+    values mean slower.  Vectorised over ``vth``.
+    """
+    drive = drive_strength(vdd, vth)
+    result = (vdd / drive) / _REFERENCE_DELAY
+    if np.isscalar(vth) or (isinstance(vth, np.ndarray) and vth.ndim == 0):
+        return float(result)
+    return result
+
+
+def nominal_delay_factor(corner: Corner) -> float:
+    """Delay multiplier of a PV-free gate at ``corner`` (1.0 at STC)."""
+    return float(delay_factor(corner.vdd, VTH_NOMINAL))
+
+
+def nominal_gate_delays(netlist: Netlist, corner: Corner) -> np.ndarray:
+    """Per-node PV-free propagation delays (ps) at ``corner``.
+
+    Source nodes (inputs, constants) have zero delay.
+    """
+    factor = nominal_delay_factor(corner)
+    coeffs = np.array(
+        [CELL_LIBRARY[kind].delay_coeff for kind in _kinds(netlist)],
+        dtype=np.float64,
+    )
+    return coeffs * factor
+
+
+def _kinds(netlist: Netlist) -> list[GateKind]:
+    return [netlist.kind(node_id) for node_id in range(netlist.num_nodes)]
+
+
+def dynamic_energy_factor(corner: Corner) -> float:
+    """Dynamic switching-energy multiplier vs the STC corner (CV² scaling)."""
+    return (corner.vdd / STC.vdd) ** 2
+
+
+def leakage_power_factor(corner: Corner) -> float:
+    """Leakage-power multiplier vs the STC corner.
+
+    Leakage current drops roughly with DIBL as Vdd scales; a simple
+    linear-voltage x reduced-current model is enough for the EDP trends.
+    """
+    return (corner.vdd / STC.vdd) ** 2.5

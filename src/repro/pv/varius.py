@@ -1,0 +1,119 @@
+"""VARIUS / VARIUS-NTV style threshold-voltage variation fields.
+
+VARIUS models within-die process variation of Vth (and Leff) as the sum of
+
+* a *systematic* component: a spatially-correlated Gaussian random field
+  over the die, with a spherical correlogram of range ``phi`` (expressed as
+  a fraction of the die edge), and
+* a *random* component: i.i.d. Gaussian per device.
+
+We reproduce that statistical structure.  Gates are placed on a square
+grid in netlist order -- construction order follows circuit structure, so
+structurally-related gates land in nearby cells, a reasonable proxy for a
+placed layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariusParams:
+    """Parameters of the ΔVth variation model (volts / fractions)."""
+
+    sigma_systematic: float = 0.015
+    sigma_random: float = 0.015
+    correlation_range: float = 0.5  # phi, fraction of die edge
+    grid_size: int = 32
+
+    @property
+    def sigma_total(self) -> float:
+        """Standard deviation of the combined ΔVth."""
+        return float(np.hypot(self.sigma_systematic, self.sigma_random))
+
+
+#: Default parameters (σ_total ≈ 21 mV, φ = 0.5 -- VARIUS' canonical choice).
+DEFAULT_PARAMS = VariusParams()
+
+
+def spherical_correlation(distance: np.ndarray, phi: float) -> np.ndarray:
+    """VARIUS' spherical correlogram ρ(r); 1 at r=0, 0 beyond r=phi."""
+    r = np.asarray(distance, dtype=float) / max(phi, 1e-12)
+    rho = 1.0 - 1.5 * r + 0.5 * r**3
+    return np.where(r < 1.0, rho, 0.0)
+
+
+def systematic_field(
+    grid_size: int, phi: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample one spatially-correlated Gaussian field over the die grid.
+
+    Returns a (grid_size, grid_size) array with marginal std ``sigma`` and
+    spherical correlogram of range ``phi`` (fraction of die edge).  Uses a
+    dense Cholesky factorisation, which is exact and fast for the grid
+    sizes used here (≤ 64x64).
+    """
+    if grid_size < 1:
+        raise ValueError("grid_size must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0.0:
+        return np.zeros((grid_size, grid_size))
+
+    chol = _cholesky_factor(grid_size, phi, sigma)
+    sample = chol @ rng.standard_normal(chol.shape[0])
+    return sample.reshape(grid_size, grid_size)
+
+
+_CHOLESKY_CACHE: dict[tuple[int, float, float], np.ndarray] = {}
+
+
+def _cholesky_factor(grid_size: int, phi: float, sigma: float) -> np.ndarray:
+    """Cached Cholesky factor of the field covariance (chips share it)."""
+    key = (grid_size, round(phi, 9), round(sigma, 9))
+    cached = _CHOLESKY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    coords = np.stack(
+        np.meshgrid(np.arange(grid_size), np.arange(grid_size), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 2) / max(grid_size - 1, 1)
+    diff = coords[:, None, :] - coords[None, :, :]
+    distance = np.sqrt((diff**2).sum(axis=-1))
+    cov = spherical_correlation(distance, phi) * sigma**2
+    # Jitter keeps the matrix numerically positive definite.
+    cov[np.diag_indices_from(cov)] += 1e-10
+    chol = np.linalg.cholesky(cov)
+    _CHOLESKY_CACHE[key] = chol
+    return chol
+
+
+def place_on_grid(num_nodes: int, grid_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-major placement of ``num_nodes`` onto the die grid.
+
+    Returns (row, col) integer arrays of length ``num_nodes``.  Multiple
+    gates share a cell when the netlist is larger than the grid, which
+    matches VARIUS' view of the systematic component as locally constant.
+    """
+    cells = grid_size * grid_size
+    positions = (np.arange(num_nodes) * cells) // max(num_nodes, 1)
+    positions = np.minimum(positions, cells - 1)
+    return positions // grid_size, positions % grid_size
+
+
+def sample_delta_vth(
+    num_nodes: int,
+    params: VariusParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-node ΔVth samples (volts): systematic field + random component."""
+    field = systematic_field(
+        params.grid_size, params.correlation_range, params.sigma_systematic, rng
+    )
+    rows, cols = place_on_grid(num_nodes, params.grid_size)
+    systematic = field[rows, cols]
+    random_part = rng.normal(0.0, params.sigma_random, size=num_nodes)
+    return systematic + random_part

@@ -1,0 +1,188 @@
+"""Dynamic timing analysis: per-cycle sensitised transition arrivals.
+
+This is the core of the paper's "in-house STA tool": for every pair of
+consecutive input vectors (the *initialising* and *sensitising* vectors,
+per Xin & Joseph's observation the paper builds on) it computes, at every
+node, the latest and earliest possible arrival time of the node's output
+transition -- but only along *sensitised* paths, i.e. through gates whose
+values actually toggle between the two vectors.
+
+Modelling notes (documented substitutions):
+
+* Glitch-free transition-arrival semantics: a node is considered to
+  transition iff its stable logic value differs between the two vectors;
+  hazards from reconvergent fanout are not modelled.  The latest arrival
+  is the max over toggling fanins plus the gate delay, the earliest is the
+  min -- the standard dynamic-timing approximation.
+* Non-toggling nodes carry -inf (latest) / +inf (earliest), so the
+  propagation needs no explicit sensitisation masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.celllib import GateKind
+from repro.timing.levelize import LevelizedCircuit
+from repro.timing.logic_eval import evaluate_logic
+
+_NEG = np.float32(-np.inf)
+_POS = np.float32(np.inf)
+
+
+@dataclass
+class CycleTimings:
+    """Per-cycle aggregate timing of a pipestage's combinational cloud.
+
+    Entry ``t`` describes the transition from input vector ``t`` to input
+    vector ``t+1`` (the paper's errant cycle is ``t+1``; vector ``t`` is
+    the initialising vector).
+
+    * ``t_late``: latest output transition arrival (ps); 0 when no output
+      toggles (nothing can be late).
+    * ``t_early``: earliest output transition arrival (ps); +inf when no
+      output toggles (nothing can violate the hold constraint).
+    * ``output_toggles``: number of primary outputs that toggle.
+    """
+
+    t_late: np.ndarray
+    t_early: np.ndarray
+    output_toggles: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.t_late)
+
+    def max_violations(self, clock_period: float) -> np.ndarray:
+        """Boolean mask of cycles with a setup (maximum timing) violation."""
+        return self.t_late > clock_period
+
+    def min_violations(self, hold_constraint: float) -> np.ndarray:
+        """Boolean mask of cycles with a hold (minimum timing) violation."""
+        return self.t_early < hold_constraint
+
+    def classify(self, clock_period: float, hold_constraint: float) -> np.ndarray:
+        """Per-cycle error class (:data:`ERR_NONE` .. :data:`ERR_CE`).
+
+        CE (consecutive error) is a maximum violation immediately followed
+        by a minimum violation within the same detection-clock cycle,
+        which in this frame is a cycle exhibiting both violation kinds.
+        """
+        max_violation = self.max_violations(clock_period)
+        min_violation = self.min_violations(hold_constraint)
+        classes = np.zeros(len(self.t_late), dtype=np.int8)
+        classes[min_violation] = ERR_SE_MIN
+        classes[max_violation] = ERR_SE_MAX
+        classes[max_violation & min_violation] = ERR_CE
+        return classes
+
+
+#: Error classes produced by :meth:`CycleTimings.classify`.
+ERR_NONE = 0
+ERR_SE_MIN = 1
+ERR_SE_MAX = 2
+ERR_CE = 3
+
+
+def _propagate_arrivals(
+    circuit: LevelizedCircuit,
+    values: np.ndarray,
+    delays: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Latest/earliest transition arrivals for each adjacent vector pair.
+
+    ``values`` is (num_nodes, C); the result matrices are
+    (num_nodes, C-1), column ``t`` describing the vector-t -> vector-t+1
+    transition.  Non-toggling nodes hold -inf / +inf.
+    """
+    toggled = values[:, 1:] != values[:, :-1]
+    shape = toggled.shape
+    late = np.full(shape, _NEG, dtype=np.float32)
+    early = np.full(shape, _POS, dtype=np.float32)
+
+    # Primary inputs switch at the launching clock edge (t = 0).
+    in_ids = circuit.input_ids
+    late[in_ids] = np.where(toggled[in_ids], np.float32(0.0), _NEG)
+    early[in_ids] = np.where(toggled[in_ids], np.float32(0.0), _POS)
+
+    delays32 = delays.astype(np.float32, copy=False)
+    for groups in circuit.levels:
+        for group in groups:
+            cand_late = late[group.in0]
+            cand_early = early[group.in0]
+            if len(group.in1):
+                cand_late = np.maximum(cand_late, late[group.in1])
+                cand_early = np.minimum(cand_early, early[group.in1])
+            if len(group.in2):
+                cand_late = np.maximum(cand_late, late[group.in2])
+                cand_early = np.minimum(cand_early, early[group.in2])
+            gate_delay = delays32[group.nodes][:, None]
+            toggles = toggled[group.nodes]
+            late[group.nodes] = np.where(toggles, cand_late + gate_delay, _NEG)
+            early[group.nodes] = np.where(toggles, cand_early + gate_delay, _POS)
+    return late, early
+
+
+def cycle_timings(
+    circuit: LevelizedCircuit,
+    inputs: np.ndarray,
+    delays: np.ndarray,
+    chunk: int = 2048,
+) -> CycleTimings:
+    """Compute per-cycle aggregate output timing for an input-vector stream.
+
+    ``inputs`` has shape (num_primary_inputs, C); the result covers the
+    C-1 vector-to-vector transitions.  Work proceeds in chunks of
+    ``chunk`` transitions to bound memory.
+    """
+    inputs = np.asarray(inputs, dtype=bool)
+    total = inputs.shape[1]
+    if total < 2:
+        raise ValueError("need at least two input vectors")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+
+    out_ids = circuit.output_ids
+    t_late = np.empty(total - 1, dtype=np.float32)
+    t_early = np.empty(total - 1, dtype=np.float32)
+    toggles = np.empty(total - 1, dtype=np.int32)
+
+    start = 0
+    while start < total - 1:
+        stop = min(start + chunk, total - 1)
+        window = inputs[:, start : stop + 1]
+        values = evaluate_logic(circuit, window)
+        late, early = _propagate_arrivals(circuit, values, delays)
+        out_late = late[out_ids].max(axis=0)
+        out_early = early[out_ids].min(axis=0)
+        out_toggled = (values[out_ids, 1:] != values[out_ids, :-1]).sum(axis=0)
+        # No output transition: nothing arrives, so nothing is late and
+        # nothing violates hold.
+        t_late[start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
+        t_early[start:stop] = out_early
+        toggles[start:stop] = out_toggled
+        start = stop
+
+    return CycleTimings(t_late=t_late, t_early=t_early, output_toggles=toggles)
+
+
+def single_transition_arrivals(
+    circuit: LevelizedCircuit,
+    vector_prev: np.ndarray,
+    vector_curr: np.ndarray,
+    delays: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Node-resolved arrivals for one vector pair.
+
+    Returns ``(late, early, toggled)`` arrays over all nodes; used by the
+    choke-path trace-back, which needs per-node (not aggregate) timing.
+    """
+    inputs = np.stack(
+        [np.asarray(vector_prev, dtype=bool), np.asarray(vector_curr, dtype=bool)],
+        axis=1,
+    )
+    values = evaluate_logic(circuit, inputs)
+    late, early = _propagate_arrivals(circuit, values, delays)
+    toggled = values[:, 1] != values[:, 0]
+    return late[:, 0], early[:, 0], toggled

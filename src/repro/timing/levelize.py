@@ -1,0 +1,105 @@
+"""Levelised circuit form for the vectorised logic/timing engines.
+
+Nodes are grouped by (logic level, gate kind) so that each group can be
+evaluated with a handful of numpy operations over all cycles at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.celllib import GateKind
+from repro.gates.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """All gates of one kind within one logic level."""
+
+    kind: GateKind
+    nodes: np.ndarray  # node ids, int32
+    in0: np.ndarray
+    in1: np.ndarray  # empty for 1-input kinds
+    in2: np.ndarray  # empty unless MUX2
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class LevelizedCircuit:
+    """A netlist reorganised into per-level, per-kind gate groups."""
+
+    netlist: Netlist
+    num_nodes: int
+    input_ids: np.ndarray
+    output_ids: np.ndarray
+    const0_ids: np.ndarray
+    const1_ids: np.ndarray
+    levels: list[list[LevelGroup]]  # levels[0] is the first *gate* level
+    node_levels: np.ndarray
+
+    @property
+    def depth(self) -> int:
+        """Number of gate levels."""
+        return len(self.levels)
+
+
+def levelize(netlist: Netlist) -> LevelizedCircuit:
+    """Build the levelised form of ``netlist``."""
+    node_levels = netlist.levels()
+    kinds = [netlist.kind(node_id) for node_id in range(netlist.num_nodes)]
+
+    input_ids = np.array(netlist.input_ids, dtype=np.int32)
+    const0_ids = np.array(
+        [i for i, kind in enumerate(kinds) if kind is GateKind.CONST0], dtype=np.int32
+    )
+    const1_ids = np.array(
+        [i for i, kind in enumerate(kinds) if kind is GateKind.CONST1], dtype=np.int32
+    )
+
+    max_level = int(node_levels.max()) if netlist.num_nodes else 0
+    levels: list[list[LevelGroup]] = []
+    for level in range(1, max_level + 1):
+        node_ids = np.flatnonzero(node_levels == level)
+        by_kind: dict[GateKind, list[int]] = {}
+        for node_id in node_ids:
+            by_kind.setdefault(kinds[node_id], []).append(int(node_id))
+        groups: list[LevelGroup] = []
+        for kind, members in sorted(by_kind.items()):
+            fanins = [netlist.fanins(node_id) for node_id in members]
+            arity = len(fanins[0])
+            in0 = np.array([f[0] for f in fanins], dtype=np.int32)
+            in1 = (
+                np.array([f[1] for f in fanins], dtype=np.int32)
+                if arity > 1
+                else np.array([], dtype=np.int32)
+            )
+            in2 = (
+                np.array([f[2] for f in fanins], dtype=np.int32)
+                if arity > 2
+                else np.array([], dtype=np.int32)
+            )
+            groups.append(
+                LevelGroup(
+                    kind=kind,
+                    nodes=np.array(members, dtype=np.int32),
+                    in0=in0,
+                    in1=in1,
+                    in2=in2,
+                )
+            )
+        levels.append(groups)
+
+    return LevelizedCircuit(
+        netlist=netlist,
+        num_nodes=netlist.num_nodes,
+        input_ids=input_ids,
+        output_ids=np.array(netlist.output_ids, dtype=np.int32),
+        const0_ids=const0_ids,
+        const1_ids=const1_ids,
+        levels=levels,
+        node_levels=node_levels,
+    )

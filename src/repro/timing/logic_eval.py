@@ -1,0 +1,82 @@
+"""Vectorised boolean evaluation of a levelised circuit.
+
+Evaluates every node's logic value for a whole batch of input vectors at
+once.  Semantics must agree with the scalar reference
+:func:`repro.gates.celllib.evaluate_gate` (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.celllib import GateKind
+from repro.timing.levelize import LevelGroup, LevelizedCircuit
+
+
+def _evaluate_group(values: np.ndarray, group: LevelGroup) -> None:
+    """Compute ``values[group.nodes]`` in place from fanin rows."""
+    kind = group.kind
+    a = values[group.in0]
+    if kind is GateKind.BUF or kind is GateKind.DBUF:
+        result = a
+    elif kind is GateKind.INV:
+        result = ~a
+    else:
+        b = values[group.in1]
+        if kind is GateKind.AND2:
+            result = a & b
+        elif kind is GateKind.OR2:
+            result = a | b
+        elif kind is GateKind.NAND2:
+            result = ~(a & b)
+        elif kind is GateKind.NOR2:
+            result = ~(a | b)
+        elif kind is GateKind.XOR2:
+            result = a ^ b
+        elif kind is GateKind.XNOR2:
+            result = ~(a ^ b)
+        elif kind is GateKind.MUX2:
+            sel = values[group.in2]
+            result = np.where(sel, b, a)
+        else:
+            raise ValueError(f"cannot evaluate kind {kind!r}")
+    values[group.nodes] = result
+
+
+def evaluate_logic(circuit: LevelizedCircuit, inputs: np.ndarray) -> np.ndarray:
+    """Evaluate all nodes for a batch of input vectors.
+
+    ``inputs`` has shape (num_primary_inputs, num_vectors), rows ordered
+    like ``circuit.input_ids``.  Returns a boolean (num_nodes,
+    num_vectors) matrix of node values.
+    """
+    inputs = np.asarray(inputs, dtype=bool)
+    if inputs.ndim != 2 or inputs.shape[0] != len(circuit.input_ids):
+        raise ValueError(
+            f"inputs must be ({len(circuit.input_ids)}, cycles), got {inputs.shape}"
+        )
+    num_vectors = inputs.shape[1]
+    values = np.zeros((circuit.num_nodes, num_vectors), dtype=bool)
+    values[circuit.input_ids] = inputs
+    if len(circuit.const1_ids):
+        values[circuit.const1_ids] = True
+    for groups in circuit.levels:
+        for group in groups:
+            _evaluate_group(values, group)
+    return values
+
+
+def output_values(circuit: LevelizedCircuit, values: np.ndarray) -> np.ndarray:
+    """Extract the primary-output rows of a value matrix."""
+    return values[circuit.output_ids]
+
+
+def output_words(circuit: LevelizedCircuit, values: np.ndarray) -> np.ndarray:
+    """Pack primary-output bits into unsigned integers per vector.
+
+    Output ordering follows the netlist's output registration order, which
+    for the ALU is LSB first.
+    """
+    bits = output_values(circuit, values)
+    weights = np.left_shift(np.ones(bits.shape[0], dtype=np.uint64), np.arange(bits.shape[0], dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights[:, None]).sum(axis=0, dtype=np.uint64)

@@ -1,0 +1,122 @@
+"""Synthesised-style timing reports (PrimeTime-flavoured text output).
+
+Downstream users of an EDA library expect a timing report: per-path
+breakdowns with per-cell increments, slack against a constraint, and a
+summary of the endpoint distribution.  :func:`timing_report` produces
+one for any (netlist, delay assignment, clock) triple -- handy for
+inspecting exactly where a fabricated chip's choke gates land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.netlist import Netlist
+from repro.timing.paths import Path, _trace_back
+from repro.timing.sta import arrival_times
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """One reported path with its per-node arrival breakdown."""
+
+    endpoint_name: str
+    path: Path
+    arrival: float
+    slack: float
+    lines: tuple[str, ...]
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _format_path(
+    netlist: Netlist,
+    path: Path,
+    delays: np.ndarray,
+    endpoint_name: str,
+    constraint: float,
+    chip_ratios: np.ndarray | None,
+) -> PathReport:
+    lines = [f"  Endpoint: {endpoint_name}"]
+    lines.append(f"  {'node':>6s}  {'cell':8s}  {'incr':>9s}  {'arrival':>9s}  note")
+    total = 0.0
+    for node in path.nodes:
+        incr = float(delays[node])
+        total += incr
+        note = ""
+        if chip_ratios is not None and netlist.fanins(node):
+            ratio = float(chip_ratios[node])
+            if ratio >= 1.5:
+                note = f"<-- choke gate ({ratio:.1f}x nominal)"
+            elif ratio <= 1 / 1.5:
+                note = f"<-- fast gate ({ratio:.2f}x nominal)"
+        lines.append(
+            f"  {node:6d}  {netlist.kind(node).name:8s}  {incr:9.1f}  "
+            f"{total:9.1f}  {note}"
+        )
+    slack = constraint - total
+    verdict = "MET" if slack >= 0 else "VIOLATED"
+    lines.append(f"  required {constraint:.1f}  arrival {total:.1f}  "
+                 f"slack {slack:.1f} ({verdict})")
+    return PathReport(
+        endpoint_name=endpoint_name,
+        path=path,
+        arrival=total,
+        slack=slack,
+        lines=tuple(lines),
+    )
+
+
+def timing_report(
+    netlist: Netlist,
+    delays: np.ndarray,
+    clock_period: float,
+    num_paths: int = 3,
+    nominal_delays: np.ndarray | None = None,
+) -> str:
+    """A text timing report: the ``num_paths`` worst endpoints.
+
+    When ``nominal_delays`` is given (a fabricated chip's PV-free
+    reference), per-gate deviation annotations mark choke and fast gates
+    along each path.
+    """
+    if clock_period <= 0:
+        raise ValueError("clock_period must be positive")
+    if num_paths < 1:
+        raise ValueError("num_paths must be at least 1")
+
+    arrivals = arrival_times(netlist, delays, "max")
+    chip_ratios = None
+    if nominal_delays is not None:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            chip_ratios = np.where(
+                nominal_delays > 0, delays / nominal_delays, 1.0
+            )
+
+    endpoints = sorted(
+        netlist.outputs.items(), key=lambda item: -arrivals[item[1]]
+    )[:num_paths]
+
+    sections = [
+        f"Timing report: {netlist.name} "
+        f"(clock {clock_period:.1f} ps, {netlist.num_gates} gates)",
+    ]
+    violations = 0
+    for name, node in endpoints:
+        path = _trace_back(netlist, arrivals, delays, node)
+        report = _format_path(
+            netlist, path, delays, name, clock_period, chip_ratios
+        )
+        if report.slack < 0:
+            violations += 1
+        sections.append(report.render())
+    worst = float(max(arrivals[n] for n in netlist.output_ids))
+    sections.append(
+        f"Summary: worst arrival {worst:.1f} ps, worst slack "
+        f"{clock_period - worst:.1f} ps, "
+        f"{violations}/{len(endpoints)} reported endpoints violating"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,51 @@
+"""Static timing analysis: topological longest/shortest arrivals.
+
+Used to derive the clock period (from the PV-free critical path), to plan
+hold-buffer insertion (from per-output shortest paths), and as the
+reference against which dynamic sensitised-path delays are compared in
+the choke analytics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.netlist import Netlist
+
+
+def arrival_times(netlist: Netlist, delays: np.ndarray, mode: str = "max") -> np.ndarray:
+    """Per-node static arrival times.
+
+    ``mode="max"`` gives the classic longest-path arrival, ``mode="min"``
+    the shortest-path (hold-analysis) arrival.  Sources arrive at 0.
+    """
+    if mode not in ("max", "min"):
+        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+    combine = max if mode == "max" else min
+    arrivals = np.zeros(netlist.num_nodes, dtype=np.float64)
+    for node_id, _kind, fanins in netlist.iter_nodes():
+        if fanins:
+            arrivals[node_id] = (
+                combine(arrivals[f] for f in fanins) + delays[node_id]
+            )
+    return arrivals
+
+
+def output_arrivals(
+    netlist: Netlist, delays: np.ndarray, mode: str = "max"
+) -> dict[str, float]:
+    """Static arrival time at every primary output, keyed by output name."""
+    arrivals = arrival_times(netlist, delays, mode)
+    return {name: float(arrivals[node_id]) for name, node_id in netlist.outputs.items()}
+
+
+def critical_path_delay(netlist: Netlist, delays: np.ndarray) -> float:
+    """Longest static path delay to any primary output."""
+    arrivals = arrival_times(netlist, delays, "max")
+    return float(max(arrivals[node_id] for node_id in netlist.output_ids))
+
+
+def shortest_path_delay(netlist: Netlist, delays: np.ndarray) -> float:
+    """Shortest static path delay to any primary output."""
+    arrivals = arrival_times(netlist, delays, "min")
+    return float(min(arrivals[node_id] for node_id in netlist.output_ids))

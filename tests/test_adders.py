@@ -1,0 +1,144 @@
+"""Unit and property tests for the structural adders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import (
+    add_sub_unit,
+    carry_lookahead_adder,
+    full_adder,
+    half_adder,
+    ripple_carry_adder,
+)
+from repro.gates.builder import NetlistBuilder
+
+from tests.util import eval_word, int_to_bits
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+
+
+def _run_adder(factory, a, b, cin):
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", WIDTH)
+    wb = builder.input_word("b", WIDTH)
+    cin_node = builder.input("cin")
+    total, cout = factory(builder, wa, wb, cin_node)
+    value = eval_word(builder, total + [cout], int_to_bits(a, WIDTH) + int_to_bits(b, WIDTH) + [cin])
+    return value & MASK, value >> WIDTH
+
+
+@pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (1, 1, 1), (0, 0, 1), (1, 0, 0)])
+def test_full_adder_truth(a, b, cin):
+    builder = NetlistBuilder()
+    ia, ib, ic = builder.input("a"), builder.input("b"), builder.input("c")
+    s, c = full_adder(builder, ia, ib, ic)
+    value = eval_word(builder, [s, c], [a, b, cin])
+    assert value == a + b + cin
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+def test_half_adder_truth(a, b):
+    builder = NetlistBuilder()
+    ia, ib = builder.input("a"), builder.input("b")
+    s, c = half_adder(builder, ia, ib)
+    assert eval_word(builder, [s, c], [a, b]) == a + b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(0, MASK), b=st.integers(0, MASK), cin=st.integers(0, 1)
+)
+def test_ripple_carry_adder_matches_integer_addition(a, b, cin):
+    total, cout = _run_adder(ripple_carry_adder, a, b, cin)
+    expected = a + b + cin
+    assert total == expected & MASK
+    assert cout == expected >> WIDTH
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(0, MASK), b=st.integers(0, MASK), cin=st.integers(0, 1)
+)
+def test_lookahead_adder_matches_integer_addition(a, b, cin):
+    total, cout = _run_adder(carry_lookahead_adder, a, b, cin)
+    expected = a + b + cin
+    assert total == expected & MASK
+    assert cout == expected >> WIDTH
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, MASK), b=st.integers(0, MASK), cin=st.integers(0, 1),
+    group=st.sampled_from([1, 2, 3, 4, 8]),
+)
+def test_lookahead_group_sizes(a, b, cin, group):
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", WIDTH)
+    wb = builder.input_word("b", WIDTH)
+    cin_node = builder.input("cin")
+    total, cout = carry_lookahead_adder(builder, wa, wb, cin_node, group_size=group)
+    value = eval_word(
+        builder, total + [cout], int_to_bits(a, WIDTH) + int_to_bits(b, WIDTH) + [cin]
+    )
+    assert value == a + b + cin
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, MASK), b=st.integers(0, MASK), sub=st.integers(0, 1))
+def test_add_sub_unit(a, b, sub):
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", WIDTH)
+    wb = builder.input_word("b", WIDTH)
+    sub_node = builder.input("sub")
+    total, _ = add_sub_unit(builder, wa, wb, sub_node)
+    value = eval_word(
+        builder, total, int_to_bits(a, WIDTH) + int_to_bits(b, WIDTH) + [sub]
+    )
+    expected = (a - b) if sub else (a + b)
+    assert value == expected & MASK
+
+
+def test_add_sub_unit_lookahead_variant():
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", WIDTH)
+    wb = builder.input_word("b", WIDTH)
+    sub_node = builder.input("sub")
+    total, _ = add_sub_unit(builder, wa, wb, sub_node, use_lookahead=True)
+    value = eval_word(
+        builder, total, int_to_bits(200, WIDTH) + int_to_bits(57, WIDTH) + [1]
+    )
+    assert value == (200 - 57) & MASK
+
+
+def test_width_mismatch_rejected():
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", 4)
+    wb = builder.input_word("b", 5)
+    with pytest.raises(ValueError):
+        ripple_carry_adder(builder, wa, wb)
+    with pytest.raises(ValueError):
+        carry_lookahead_adder(builder, wa, wb)
+
+
+def test_lookahead_invalid_group_rejected():
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", 4)
+    wb = builder.input_word("b", 4)
+    with pytest.raises(ValueError):
+        carry_lookahead_adder(builder, wa, wb, group_size=0)
+
+
+def test_lookahead_is_shallower_than_ripple():
+    def depth(factory):
+        builder = NetlistBuilder()
+        wa = builder.input_word("a", 16)
+        wb = builder.input_word("b", 16)
+        total, cout = factory(builder, wa, wb)
+        builder.output_word("s", total + [cout])
+        return builder.build().logic_depth()
+
+    assert depth(lambda b, x, y: carry_lookahead_adder(b, x, y)) < depth(
+        lambda b, x, y: ripple_carry_adder(b, x, y)
+    )

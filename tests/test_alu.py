@@ -1,0 +1,135 @@
+"""Unit and property tests for the ALU: netlist vs reference semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.alu import CH3_OPS, AluOp, alu_reference, build_alu
+from repro.timing.levelize import levelize
+from repro.timing.logic_eval import evaluate_logic, output_words
+
+
+@pytest.fixture(scope="module")
+def alu8_pack():
+    alu = build_alu(8)
+    return alu, levelize(alu.netlist)
+
+
+def _run(alu, circuit, op, a, b):
+    inputs = alu.encode(op, a, b).reshape(-1, 1)
+    values = evaluate_logic(circuit, inputs)
+    return int(output_words(circuit, values)[0])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    op=st.sampled_from(list(AluOp)),
+    a=st.integers(0, 255),
+    b=st.integers(0, 255),
+)
+def test_alu_netlist_matches_reference(alu8_pack, op, a, b):
+    alu, circuit = alu8_pack
+    assert _run(alu, circuit, op, a, b) == alu_reference(op, a, b, 8)
+
+
+@pytest.mark.parametrize("op", list(AluOp))
+def test_each_op_on_corner_operands(alu8_pack, op):
+    alu, circuit = alu8_pack
+    for a, b in ((0, 0), (255, 255), (255, 0), (1, 128), (0x55, 0xAA)):
+        assert _run(alu, circuit, op, a, b) == alu_reference(op, a, b, 8)
+
+
+def test_ch3_ops_are_the_paper_characterisation_set():
+    names = {op.name for op in CH3_OPS}
+    assert names == {
+        "ADD", "SUB", "MULT", "OR", "AND", "XOR", "LOAD", "ASR", "LSR",
+        "ROR", "BUFFER",
+    }
+    assert len(CH3_OPS) == 11
+
+
+def test_reference_semantics_spot_checks():
+    assert alu_reference(AluOp.ADD, 200, 100, 8) == 44  # wraps mod 256
+    assert alu_reference(AluOp.SUB, 5, 10, 8) == 251
+    assert alu_reference(AluOp.MULT, 0xFF, 0xFF, 8) == (15 * 15)  # low nibbles
+    assert alu_reference(AluOp.NOR, 0, 0, 8) == 255
+    assert alu_reference(AluOp.ASR, 0x80, 1, 8) == 0xC0
+    assert alu_reference(AluOp.ROR, 0x01, 1, 8) == 0x80
+    assert alu_reference(AluOp.SLL, 0x81, 1, 8) == 0x02
+    assert alu_reference(AluOp.BUFFER, 123, 7, 8) == 123
+    assert alu_reference(AluOp.LOAD, 3, 4, 8) == 7
+
+
+def test_reference_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        alu_reference("nope", 1, 2, 8)
+
+
+def test_build_rejects_bad_widths():
+    for width in (0, 3, 6, 12):
+        with pytest.raises(ValueError):
+            build_alu(width)
+
+
+def test_encode_shapes(alu8_pack):
+    alu, _ = alu8_pack
+    ops = np.array([int(AluOp.ADD), int(AluOp.XOR)])
+    a = np.array([1, 2], dtype=np.uint64)
+    b = np.array([3, 4], dtype=np.uint64)
+    matrix = alu.encode_batch(ops, a, b)
+    assert matrix.shape == (alu.num_inputs, 2)
+    # one-hot select rows: exactly one select set per column
+    select_rows = matrix[2 * alu.width :, :]
+    assert (select_rows.sum(axis=0) == 1).all()
+
+
+def test_encode_batch_length_mismatch_rejected(alu8_pack):
+    alu, _ = alu8_pack
+    with pytest.raises(ValueError):
+        alu.encode_batch(np.array([1]), np.array([1, 2], dtype=np.uint64), np.array([3], dtype=np.uint64))
+
+
+def test_input_ordering_is_a_then_b_then_selects(alu8_pack):
+    alu, _ = alu8_pack
+    netlist = alu.netlist
+    names = [netlist.name_of(node) for node in netlist.input_ids]
+    assert names[0] == "a[0]"
+    assert names[alu.width] == "b[0]"
+    assert names[2 * alu.width] == "sel_ADD"
+
+
+def test_unit_outputs_recorded(alu8_pack):
+    alu, _ = alu8_pack
+    assert set(alu.unit_output_bits) == set(AluOp)
+    for word in alu.unit_output_bits.values():
+        assert len(word) == alu.width
+
+
+def test_lookahead_variant_matches_reference():
+    alu = build_alu(8, use_lookahead_adder=True)
+    circuit = levelize(alu.netlist)
+    for a, b in ((17, 200), (255, 1)):
+        assert _run(alu, circuit, AluOp.ADD, a, b) == (a + b) & 0xFF
+        assert _run(alu, circuit, AluOp.SUB, a, b) == (a - b) & 0xFF
+
+
+def test_branch_pads_do_not_change_function():
+    pads = {(AluOp.BUFFER, i): 3 for i in range(8)}
+    sel_pads = {AluOp.BUFFER: 2}
+    alu = build_alu(8, branch_pads=pads, sel_pads=sel_pads)
+    assert len(alu.pad_gate_ids) == 8 * 3 + 2
+    circuit = levelize(alu.netlist)
+    for a in (0, 0xA5, 255):
+        assert _run(alu, circuit, AluOp.BUFFER, a, 0) == a
+        assert _run(alu, circuit, AluOp.ADD, a, 1) == (a + 1) & 0xFF
+
+
+def test_wider_alu_matches_reference_spot(alu16):
+    circuit = levelize(alu16.netlist)
+    rng = np.random.default_rng(7)
+    for _ in range(25):
+        op = AluOp(int(rng.integers(len(AluOp))))
+        a = int(rng.integers(0, 1 << 16))
+        b = int(rng.integers(0, 1 << 16))
+        assert _run(alu16, circuit, op, a, b) == alu_reference(op, a, b, 16)

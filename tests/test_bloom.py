@@ -1,0 +1,63 @@
+"""Unit and property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter(256, 3)
+    assert ("x", 1) not in bloom
+    assert bloom.fill_ratio == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=st.lists(st.tuples(st.integers(0, 1000), st.booleans()), max_size=40))
+def test_no_false_negatives(items):
+    bloom = BloomFilter(512, 3)
+    for item in items:
+        bloom.add(item)
+    for item in items:
+        assert item in bloom
+
+
+def test_false_positive_rate_bounded_when_lightly_loaded():
+    bloom = BloomFilter(4096, 3)
+    for i in range(50):
+        bloom.add(("tag", i))
+    false_positives = sum(1 for i in range(1000, 3000) if ("tag", i) in bloom)
+    assert false_positives < 50  # < 2.5% at ~4% fill
+
+
+def test_clear():
+    bloom = BloomFilter(128, 2)
+    bloom.add("a")
+    bloom.clear()
+    assert "a" not in bloom
+    assert bloom.fill_ratio == 0.0
+
+
+def test_rebuild_keeps_only_given_items():
+    bloom = BloomFilter(2048, 3)
+    bloom.add("stale")
+    bloom.rebuild(["fresh1", "fresh2"])
+    assert "fresh1" in bloom and "fresh2" in bloom
+    # "stale" is *probably* gone (may survive only as a false positive);
+    # with a sparse filter it must be gone
+    assert "stale" not in bloom
+
+
+def test_fill_ratio_grows():
+    bloom = BloomFilter(256, 2)
+    before = bloom.fill_ratio
+    bloom.add("something")
+    assert bloom.fill_ratio > before
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BloomFilter(0, 1)
+    with pytest.raises(ValueError):
+        BloomFilter(8, 0)

@@ -1,0 +1,132 @@
+"""Unit tests for the netlist builder."""
+
+import pytest
+
+from repro.gates.builder import NetlistBuilder
+from repro.gates.celllib import GateKind
+from repro.timing.levelize import levelize
+from repro.timing.logic_eval import evaluate_logic
+
+import numpy as np
+
+
+def _eval_single_output(builder, out_node, input_bits):
+    builder.output("y", out_node)
+    circuit = levelize(builder.build())
+    inputs = np.array([[bit] for bit in input_bits], dtype=bool)
+    values = evaluate_logic(circuit, inputs)
+    return bool(values[out_node, 0])
+
+
+@pytest.mark.parametrize(
+    "op_name,a,b,expected",
+    [
+        ("and_", 1, 1, 1), ("and_", 1, 0, 0),
+        ("or_", 0, 0, 0), ("or_", 0, 1, 1),
+        ("nand_", 1, 1, 0), ("nor_", 0, 0, 1),
+        ("xor_", 1, 0, 1), ("xnor_", 1, 0, 0),
+    ],
+)
+def test_binary_helpers(op_name, a, b, expected):
+    builder = NetlistBuilder()
+    in_a, in_b = builder.input("a"), builder.input("b")
+    node = getattr(builder, op_name)(in_a, in_b)
+    assert _eval_single_output(builder, node, [a, b]) == bool(expected)
+
+
+def test_not_and_buf():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    node = builder.not_(builder.buf(a))
+    assert _eval_single_output(builder, node, [1]) is False
+
+
+def test_dbuf_chain_length():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    end = builder.dbuf_chain(a, 5)
+    netlist = builder.netlist
+    assert netlist.num_nodes == 6  # input + 5 DBUFs
+    assert netlist.kind(end) is GateKind.DBUF
+
+
+def test_dbuf_chain_zero_is_identity():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    assert builder.dbuf_chain(a, 0) == a
+
+
+def test_const_cached():
+    builder = NetlistBuilder()
+    assert builder.const(0) == builder.const(0)
+    assert builder.const(1) == builder.const(1)
+    assert builder.const(0) != builder.const(1)
+
+
+def test_and_many_matches_python_all(rng):
+    for _ in range(10):
+        bits = rng.integers(0, 2, size=int(rng.integers(1, 9))).tolist()
+        builder = NetlistBuilder()
+        nodes = [builder.input(f"i{i}") for i in range(len(bits))]
+        node = builder.and_many(nodes)
+        assert _eval_single_output(builder, node, bits) == all(bits)
+
+
+def test_or_many_matches_python_any(rng):
+    for _ in range(10):
+        bits = rng.integers(0, 2, size=int(rng.integers(1, 9))).tolist()
+        builder = NetlistBuilder()
+        nodes = [builder.input(f"i{i}") for i in range(len(bits))]
+        node = builder.or_many(nodes)
+        assert _eval_single_output(builder, node, bits) == any(bits)
+
+
+def test_xor_many_matches_parity(rng):
+    for _ in range(10):
+        bits = rng.integers(0, 2, size=int(rng.integers(1, 9))).tolist()
+        builder = NetlistBuilder()
+        nodes = [builder.input(f"i{i}") for i in range(len(bits))]
+        node = builder.xor_many(nodes)
+        assert _eval_single_output(builder, node, bits) == bool(sum(bits) % 2)
+
+
+def test_reduction_over_empty_rejected():
+    builder = NetlistBuilder()
+    with pytest.raises(ValueError):
+        builder.and_many([])
+
+
+def test_mux_selects_correctly():
+    for sel, expected in ((0, 1), (1, 0)):
+        builder = NetlistBuilder()
+        s = builder.input("s")
+        a = builder.const(1)
+        b = builder.const(0)
+        node = builder.mux(s, a, b)
+        assert _eval_single_output(builder, node, [sel]) == bool(expected)
+
+
+def test_word_width_mismatch_rejected():
+    builder = NetlistBuilder()
+    a = builder.input_word("a", 4)
+    b = builder.input_word("b", 3)
+    with pytest.raises(ValueError, match="width mismatch"):
+        builder.and_word(a, b)
+    with pytest.raises(ValueError, match="width mismatch"):
+        builder.mux_word(builder.input("s"), a, b)
+
+
+def test_input_word_and_output_word():
+    builder = NetlistBuilder()
+    word = builder.input_word("a", 4)
+    builder.output_word("y", word)
+    netlist = builder.build()
+    assert len(netlist.input_ids) == 4
+    assert netlist.output_names == ("y[0]", "y[1]", "y[2]", "y[3]")
+
+
+def test_zero_word():
+    builder = NetlistBuilder()
+    word = builder.zero_word(3)
+    assert len(word) == 3
+    assert len(set(word)) == 1  # all the same cached const node

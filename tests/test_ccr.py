@@ -1,0 +1,67 @@
+"""Unit tests for the Choke Clearance Register."""
+
+import pytest
+
+from repro.core.trident.ccr import ChokeClearanceRegister, InstructionRecord
+
+
+def _record(pc):
+    return InstructionRecord(pc=pc, opcode=pc % 16, size_a=True, size_b=False)
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        ChokeClearanceRegister(1)
+
+
+def test_push_and_newest():
+    ccr = ChokeClearanceRegister(4)
+    with pytest.raises(LookupError):
+        ccr.newest()
+    ccr.push(_record(100))
+    ccr.push(_record(104))
+    assert ccr.newest().pc == 104
+    assert len(ccr) == 2
+
+
+def test_bounded_depth():
+    ccr = ChokeClearanceRegister(3)
+    for pc in range(10):
+        ccr.push(_record(pc))
+    assert len(ccr) == 3
+    assert ccr.newest().pc == 9
+    assert ccr.at_stage(2).pc == 7
+
+
+def test_at_stage_bounds():
+    ccr = ChokeClearanceRegister(4)
+    ccr.push(_record(0))
+    with pytest.raises(LookupError):
+        ccr.at_stage(1)
+    with pytest.raises(LookupError):
+        ccr.at_stage(-1)
+
+
+def test_errant_pair_order():
+    """The sensitising instruction is at the EX offset, the initialising
+    one entered the pipeline a cycle earlier (deeper in the CCR)."""
+    ccr = ChokeClearanceRegister(6)
+    for pc in (0, 4, 8, 12):
+        ccr.push(_record(pc))
+    initialising, sensitising = ccr.errant_pair(ex_offset=1)
+    assert sensitising.pc == 8
+    assert initialising.pc == 4
+
+
+def test_replay_address():
+    ccr = ChokeClearanceRegister(6)
+    for pc in (0, 4, 8):
+        ccr.push(_record(pc))
+    assert ccr.replay_address(ex_offset=2) == 0
+
+
+def test_flush_empties():
+    ccr = ChokeClearanceRegister(4)
+    ccr.push(_record(0))
+    ccr.flush()
+    assert len(ccr) == 0

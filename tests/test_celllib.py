@@ -1,0 +1,89 @@
+"""Unit tests for the standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.gates.celllib import (
+    CELL_LIBRARY,
+    COMBINATIONAL_KINDS,
+    SOURCE_KINDS,
+    GateKind,
+    evaluate_gate,
+    fanin_count,
+)
+
+
+def test_every_kind_has_a_spec():
+    assert set(CELL_LIBRARY) == set(GateKind)
+
+
+def test_source_kinds_have_no_fanins_and_no_delay():
+    for kind in SOURCE_KINDS:
+        spec = CELL_LIBRARY[kind]
+        assert spec.num_inputs == 0
+        assert spec.delay_coeff == 0.0
+        assert spec.is_source
+
+
+def test_combinational_kinds_have_positive_delay_and_area():
+    for kind in COMBINATIONAL_KINDS:
+        spec = CELL_LIBRARY[kind]
+        assert spec.delay_coeff > 0
+        assert spec.area_um2 > 0
+        assert spec.energy_fj > 0
+        assert not spec.is_source
+
+
+def test_source_and_combinational_partition_the_kinds():
+    assert SOURCE_KINDS | COMBINATIONAL_KINDS == set(GateKind)
+    assert not SOURCE_KINDS & COMBINATIONAL_KINDS
+
+
+def test_fanin_counts():
+    assert fanin_count(GateKind.INPUT) == 0
+    assert fanin_count(GateKind.INV) == 1
+    assert fanin_count(GateKind.BUF) == 1
+    assert fanin_count(GateKind.DBUF) == 1
+    assert fanin_count(GateKind.NAND2) == 2
+    assert fanin_count(GateKind.MUX2) == 3
+
+
+def test_relative_cell_delays_are_sane():
+    """An inverter is the fastest cell; XOR-family and MUX the slowest."""
+    delays = {k: CELL_LIBRARY[k].delay_coeff for k in COMBINATIONAL_KINDS}
+    assert min(delays, key=delays.get) == GateKind.INV
+    assert delays[GateKind.XOR2] > delays[GateKind.NAND2]
+    assert delays[GateKind.DBUF] > delays[GateKind.BUF]
+
+
+def test_constants_evaluate():
+    assert evaluate_gate(GateKind.CONST0) == 0
+    assert evaluate_gate(GateKind.CONST1) == 1
+
+
+@pytest.mark.parametrize("a", (0, 1))
+def test_unary_gates(a):
+    assert evaluate_gate(GateKind.BUF, a) == a
+    assert evaluate_gate(GateKind.DBUF, a) == a
+    assert evaluate_gate(GateKind.INV, a) == 1 - a
+
+
+@pytest.mark.parametrize("a,b", list(itertools.product((0, 1), repeat=2)))
+def test_binary_gate_truth_tables(a, b):
+    assert evaluate_gate(GateKind.AND2, a, b) == (a & b)
+    assert evaluate_gate(GateKind.OR2, a, b) == (a | b)
+    assert evaluate_gate(GateKind.NAND2, a, b) == 1 - (a & b)
+    assert evaluate_gate(GateKind.NOR2, a, b) == 1 - (a | b)
+    assert evaluate_gate(GateKind.XOR2, a, b) == (a ^ b)
+    assert evaluate_gate(GateKind.XNOR2, a, b) == 1 - (a ^ b)
+
+
+@pytest.mark.parametrize("in0,in1,sel", list(itertools.product((0, 1), repeat=3)))
+def test_mux_truth_table(in0, in1, sel):
+    assert evaluate_gate(GateKind.MUX2, in0, in1, sel) == (in1 if sel else in0)
+
+
+def test_evaluate_rejects_input_kind():
+    with pytest.raises(ValueError):
+        evaluate_gate(GateKind.INPUT)

@@ -1,0 +1,75 @@
+"""Unit tests for the Choke Error Table."""
+
+import pytest
+
+from repro.core.tags import EX_STAGE, ErrorId
+from repro.core.trident.cet import ChokeErrorTable
+from repro.timing.dta import ERR_CE, ERR_SE_MAX, ERR_SE_MIN
+
+
+def _eid(init=1, sens=2, size_a=True, size_b=False, err_class=ERR_SE_MAX):
+    return ErrorId(init, sens, size_a, size_b, err_class)
+
+
+def test_insert_then_lookup_returns_class():
+    cet = ChokeErrorTable(8)
+    eid = _eid(err_class=ERR_SE_MIN)
+    assert cet.lookup(eid.key) is None
+    cet.insert(eid)
+    assert cet.lookup(eid.key) == ERR_SE_MIN
+    assert len(cet) == 1
+
+
+def test_key_excludes_class():
+    eid = _eid(err_class=ERR_CE)
+    assert eid.err_class not in eid.key or True  # key has fixed layout:
+    assert eid.key == (1, 2, True, False, EX_STAGE)
+
+
+def test_class_escalation_updates_payload():
+    cet = ChokeErrorTable(8)
+    cet.insert(_eid(err_class=ERR_SE_MAX))
+    cet.insert(_eid(err_class=ERR_CE))
+    assert cet.lookup(_eid().key) == ERR_CE
+    assert len(cet) == 1  # same key, updated in place
+    assert cet.unique_insertions == 1
+
+
+def test_capacity_and_eviction():
+    cet = ChokeErrorTable(2)
+    eids = [_eid(init=i) for i in range(3)]
+    for eid in eids:
+        cet.insert(eid)
+    assert len(cet) == 2
+    assert cet.evictions == 1
+    hits = sum(cet.lookup(eid.key) is not None for eid in eids)
+    assert hits == 2
+
+
+def test_lookup_protects_entry():
+    cet = ChokeErrorTable(2)
+    a, b, c = _eid(init=1), _eid(init=2), _eid(init=3)
+    cet.insert(a)
+    cet.insert(b)
+    cet.lookup(a.key)
+    cet.insert(c)  # b is the victim
+    assert cet.lookup(a.key) is not None
+    assert cet.lookup(b.key) is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ChokeErrorTable(12)
+
+
+def test_distinct_size_classes_are_distinct_keys():
+    cet = ChokeErrorTable(8)
+    cet.insert(_eid(size_a=True))
+    assert cet.lookup(_eid(size_a=False).key) is None
+
+
+def test_keys_listing():
+    cet = ChokeErrorTable(8)
+    cet.insert(_eid(init=1))
+    cet.insert(_eid(init=2))
+    assert len(cet.keys()) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for fabricated-chip samples."""
+
+import numpy as np
+import pytest
+
+from repro.pv.chip import fabricate_chip
+from repro.pv.delaymodel import NTC, STC
+
+
+def test_fabricate_deterministic(alu8):
+    a = fabricate_chip(alu8.netlist, NTC, seed=3)
+    b = fabricate_chip(alu8.netlist, NTC, seed=3)
+    assert (a.delays == b.delays).all()
+    assert (a.affected_ids == b.affected_ids).all()
+
+
+def test_different_seeds_differ(alu8):
+    a = fabricate_chip(alu8.netlist, NTC, seed=3)
+    b = fabricate_chip(alu8.netlist, NTC, seed=4)
+    assert not (a.delays == b.delays).all()
+    assert set(a.affected_ids) != set(b.affected_ids)
+
+
+def test_affected_fraction_respected(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=1, affected_fraction=0.05)
+    expected = round(0.05 * alu8.netlist.num_gates)
+    assert len(chip.affected_ids) == expected
+
+
+def test_affected_gates_are_gates_not_sources(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=2)
+    for node in chip.affected_ids:
+        assert alu8.netlist.fanins(int(node))
+
+
+def test_zero_affected_fraction(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=1, affected_fraction=0.0)
+    assert len(chip.affected_ids) == 0
+
+
+def test_invalid_fraction_rejected(alu8):
+    with pytest.raises(ValueError):
+        fabricate_chip(alu8.netlist, NTC, seed=1, affected_fraction=1.5)
+
+
+def test_sources_keep_zero_delay(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=5)
+    for node in alu8.netlist.input_ids:
+        assert chip.delays[node] == 0.0
+        assert chip.nominal_delays[node] == 0.0
+
+
+def test_delay_ratio_tail_at_ntc(alu8):
+    """Strongly-affected gates reach multi-x deviations at NTC."""
+    chip = fabricate_chip(alu8.netlist, NTC, seed=6)
+    ratios = chip.delay_ratio()[chip.affected_ids]
+    assert ratios.max() > 3.0 or ratios.min() < 0.5
+
+
+def test_stc_deviations_much_milder(alu8):
+    ntc = fabricate_chip(alu8.netlist, NTC, seed=7)
+    stc = fabricate_chip(alu8.netlist, STC, seed=7)
+    # identical ΔVth assignment (same seed), so the ratio spread compares
+    # the corner sensitivity directly
+    assert (ntc.delta_vth == stc.delta_vth).all()
+    assert ntc.delay_ratio().max() > stc.delay_ratio().max()
+
+
+def test_affected_mask_contains_strong_gates(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=8)
+    mask = chip.affected_mask(ratio_threshold=1.5)
+    # every designated strongly-affected gate must be flagged
+    assert mask[chip.affected_ids].all()
+
+
+def test_unaffected_ratio_near_one_at_stc(alu8):
+    chip = fabricate_chip(alu8.netlist, STC, seed=9, affected_fraction=0.0)
+    gates = [n for n in range(alu8.netlist.num_nodes) if alu8.netlist.fanins(n)]
+    ratios = chip.delay_ratio()[gates]
+    assert 0.6 < ratios.min() and ratios.max() < 2.0
+
+
+def test_repr(alu8):
+    chip = fabricate_chip(alu8.netlist, NTC, seed=10)
+    assert "NTC" in repr(chip)

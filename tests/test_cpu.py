@@ -1,0 +1,156 @@
+"""Tests for the cycle-accurate pipeline and its cross-validation
+against the analytic scheme models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cpu import InOrderPipeline, MitigationKind, run_pipeline
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+from repro.arch.trace import BENCHMARKS, generate_trace
+from repro.circuits.alu import AluOp, alu_reference
+from repro.core.dcs import DcsScheme
+from repro.core.schemes import RazorScheme
+from repro.core.trident import TridentScheme
+from repro.timing.dta import ERR_CE, ERR_NONE, ERR_SE_MAX
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(BENCHMARKS["mcf"], 400, width=16)
+
+
+def _classes(trace, positions=(), value=ERR_SE_MAX):
+    classes = np.full(len(trace) - 1, ERR_NONE, dtype=np.int8)
+    for pos in positions:
+        classes[pos] = value
+    return classes
+
+
+def test_clean_run_is_ideal(small_trace):
+    stats = InOrderPipeline(
+        small_trace, _classes(small_trace), MitigationKind.NONE
+    ).run()
+    assert stats.instructions == len(small_trace)
+    assert stats.penalty_cycles(DEFAULT_PIPELINE.depth) == 0
+    assert stats.flushes == 0
+
+
+def test_results_are_functionally_correct(small_trace):
+    stats = InOrderPipeline(
+        small_trace, _classes(small_trace), MitigationKind.NONE
+    ).run()
+    for index in (0, 57, len(small_trace) - 1):
+        expected = alu_reference(
+            AluOp(int(small_trace.alu_ops[index])),
+            int(small_trace.a_values[index]),
+            int(small_trace.b_values[index]),
+            16,
+        )
+        assert stats.results[index] == expected
+
+
+def test_single_error_costs_one_pipeline_depth(small_trace):
+    clean = InOrderPipeline(
+        small_trace, _classes(small_trace), MitigationKind.RAZOR
+    ).run()
+    errant = InOrderPipeline(
+        small_trace, _classes(small_trace, positions=(100,)), MitigationKind.RAZOR
+    ).run()
+    assert errant.flushes == 1
+    assert errant.cycles - clean.cycles == DEFAULT_PIPELINE.depth
+
+
+def test_none_mitigation_ignores_errors(small_trace):
+    classes = _classes(small_trace, positions=(10, 20, 30))
+    stats = InOrderPipeline(small_trace, classes, MitigationKind.NONE).run()
+    assert stats.flushes == 0
+    assert stats.penalty_cycles(DEFAULT_PIPELINE.depth) == 0
+
+
+def test_dcs_learns_and_avoids(small_trace):
+    """A recurring errant context flushes once, then gets stall-avoided."""
+    # make every occurrence of one static instruction errant
+    target = int(small_trace.instrs[50])
+    positions = [
+        j for j in range(len(small_trace) - 1)
+        if int(small_trace.instrs[j + 1]) == target
+    ]
+    classes = _classes(small_trace, positions=positions)
+    razor = InOrderPipeline(small_trace, classes, MitigationKind.RAZOR).run()
+    dcs = InOrderPipeline(small_trace, classes, MitigationKind.DCS).run()
+    assert dcs.flushes < razor.flushes
+    assert dcs.errors_avoided > 0
+    assert dcs.cycles < razor.cycles
+
+
+def test_trident_covers_ce_with_two_stalls(small_trace):
+    positions = [j for j in range(10, len(small_trace) - 1, 40)]
+    classes = _classes(small_trace, positions=positions, value=ERR_CE)
+    trident = InOrderPipeline(small_trace, classes, MitigationKind.TRIDENT).run()
+    assert trident.errors_avoided > 0
+    # DCS grants only one extra cycle but is blind to the trailing min
+    # violation, so it never flushes twice for the same CE
+    dcs = InOrderPipeline(small_trace, classes, MitigationKind.DCS).run()
+    assert dcs.flushes <= len(positions)
+
+
+def test_emergent_matches_analytic_razor(error_trace16, mcf_trace16):
+    emergent = run_pipeline(mcf_trace16, error_trace16, MitigationKind.RAZOR)
+    analytic = RazorScheme().simulate(error_trace16)
+    assert emergent.penalty_cycles(DEFAULT_PIPELINE.depth) == analytic.penalty_cycles
+
+
+def test_emergent_matches_analytic_dcs(error_trace16, mcf_trace16):
+    emergent = run_pipeline(mcf_trace16, error_trace16, MitigationKind.DCS)
+    analytic = DcsScheme("icslt", 128).simulate(error_trace16)
+    assert emergent.flushes == analytic.flushes
+    assert emergent.penalty_cycles(DEFAULT_PIPELINE.depth) == pytest.approx(
+        analytic.penalty_cycles, rel=0.05
+    )
+
+
+def test_emergent_matches_analytic_trident(error_trace16, mcf_trace16):
+    emergent = run_pipeline(mcf_trace16, error_trace16, MitigationKind.TRIDENT)
+    analytic = TridentScheme(128).simulate(error_trace16)
+    assert emergent.flushes == analytic.flushes
+    assert emergent.penalty_cycles(DEFAULT_PIPELINE.depth) == pytest.approx(
+        analytic.penalty_cycles, rel=0.05
+    )
+
+
+def test_scheme_ordering_is_emergent(error_trace16, mcf_trace16):
+    cycles = {
+        kind: run_pipeline(mcf_trace16, error_trace16, kind).cycles
+        for kind in (MitigationKind.RAZOR, MitigationKind.DCS, MitigationKind.TRIDENT)
+    }
+    assert cycles[MitigationKind.DCS] < cycles[MitigationKind.RAZOR]
+    assert cycles[MitigationKind.TRIDENT] < cycles[MitigationKind.RAZOR]
+
+
+def test_validation_errors(small_trace):
+    with pytest.raises(ValueError, match="instruction pairs"):
+        InOrderPipeline(small_trace, np.zeros(5, dtype=np.int8))
+    with pytest.raises(ValueError, match="EX stage"):
+        InOrderPipeline(
+            small_trace, _classes(small_trace), ex_index=0
+        )
+
+
+def test_progress_guard():
+    trace = generate_trace(BENCHMARKS["mcf"], 50, width=16)
+    cpu = InOrderPipeline(trace, _classes(trace), MitigationKind.NONE)
+    with pytest.raises(RuntimeError):
+        cpu.run(max_cycles=3)
+
+
+def test_shallower_pipeline_costs_less_per_flush(small_trace):
+    classes = _classes(small_trace, positions=(100,))
+    deep = InOrderPipeline(
+        small_trace, classes, MitigationKind.RAZOR,
+        pipeline=PipelineConfig(depth=11),
+    ).run()
+    shallow = InOrderPipeline(
+        small_trace, classes, MitigationKind.RAZOR,
+        pipeline=PipelineConfig(depth=5),
+    ).run()
+    assert deep.penalty_cycles(11) > shallow.penalty_cycles(5)

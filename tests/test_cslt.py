@@ -1,0 +1,148 @@
+"""Unit tests for the CSLT organisations (ICSLT / ACSLT)."""
+
+import pytest
+
+from repro.core.cslt import AssociativeCSLT, IndependentCSLT
+from repro.core.tags import DcsTag
+
+
+def _tag(e, owm_e=True, p=0, owm_p=False):
+    return DcsTag(e, owm_e, p, owm_p)
+
+
+# ---------------------------------------------------------------------------
+# ICSLT
+# ---------------------------------------------------------------------------
+
+
+def test_icslt_insert_then_lookup():
+    table = IndependentCSLT(8)
+    tag = _tag(1)
+    assert not table.lookup(tag)
+    table.insert(tag)
+    assert table.lookup(tag)
+    assert len(table) == 1
+    assert tag in table
+
+
+def test_icslt_capacity_power_of_two():
+    with pytest.raises(ValueError):
+        IndependentCSLT(12)
+
+
+def test_icslt_eviction_at_capacity():
+    table = IndependentCSLT(4)
+    tags = [_tag(i) for i in range(5)]
+    for tag in tags:
+        table.insert(tag)
+    assert len(table) == 4
+    assert table.evictions == 1
+    # exactly one of the five is gone
+    assert sum(1 for tag in tags if table.lookup(tag)) == 4
+
+
+def test_icslt_lookup_protects_entry():
+    table = IndependentCSLT(2)
+    a, b, c = _tag(1), _tag(2), _tag(3)
+    table.insert(a)
+    table.insert(b)
+    table.lookup(a)  # protect a
+    table.insert(c)  # evicts b
+    assert table.lookup(a)
+    assert not table.lookup(b)
+    assert table.lookup(c)
+
+
+def test_icslt_reinsert_is_idempotent():
+    table = IndependentCSLT(4)
+    tag = _tag(7)
+    table.insert(tag)
+    table.insert(tag)
+    assert len(table) == 1
+    assert table.unique_insertions == 1
+
+
+def test_icslt_stores_redundant_errant_pairs():
+    """The ICSLT redundancy the paper calls out: the same errant pair
+    with different previous pairs occupies multiple tuples."""
+    table = IndependentCSLT(8)
+    for prev in range(4):
+        table.insert(_tag(1, True, prev, False))
+    assert len(table) == 4
+
+
+def test_icslt_tags_listing():
+    table = IndependentCSLT(4)
+    table.insert(_tag(1))
+    table.insert(_tag(2))
+    assert len(table.tags()) == 2
+
+
+# ---------------------------------------------------------------------------
+# ACSLT
+# ---------------------------------------------------------------------------
+
+
+def test_acslt_insert_then_lookup():
+    table = AssociativeCSLT(4, 4)
+    tag = _tag(1, True, 9, True)
+    assert not table.lookup(tag)
+    table.insert(tag)
+    assert table.lookup(tag)
+
+
+def test_acslt_geometry_validation():
+    with pytest.raises(ValueError):
+        AssociativeCSLT(6, 4)
+    with pytest.raises(ValueError):
+        AssociativeCSLT(4, 6)
+
+
+def test_acslt_eliminates_errant_pair_redundancy():
+    """Multiple previous pairs for one errant pair share a single tuple."""
+    table = AssociativeCSLT(4, 8)
+    for prev in range(5):
+        table.insert(_tag(1, True, prev, False))
+    assert table.unique_insertions == 1  # one set tuple
+    assert len(table) == 5  # five ways inside it
+    for prev in range(5):
+        assert table.lookup(_tag(1, True, prev, False))
+
+
+def test_acslt_way_eviction_within_set():
+    table = AssociativeCSLT(2, 2)
+    for prev in range(3):
+        table.insert(_tag(1, True, prev, False))
+    hits = sum(table.lookup(_tag(1, True, prev, False)) for prev in range(3))
+    assert hits == 2  # one way evicted
+
+
+def test_acslt_set_eviction():
+    table = AssociativeCSLT(2, 2)
+    for errant in range(3):
+        table.insert(_tag(errant))
+    assert table.evictions == 1
+    hits = sum(table.lookup(_tag(errant)) for errant in range(3))
+    assert hits == 2
+
+
+def test_acslt_distinguishes_owm():
+    table = AssociativeCSLT(4, 4)
+    table.insert(_tag(1, True, 2, False))
+    assert not table.lookup(_tag(1, False, 2, False))  # different set key
+    assert not table.lookup(_tag(1, True, 2, True))  # different way key
+
+
+def test_acslt_holds_more_pairs_than_equal_tuple_icslt():
+    """The space argument for ACSLT: 32 tuples x 16 ways cover far more
+    unique (errant, previous) combinations than a 32-tuple ICSLT."""
+    icslt = IndependentCSLT(32)
+    acslt = AssociativeCSLT(32, 16)
+    tags = [_tag(e, True, p, False) for e in range(8) for p in range(10)]
+    for tag in tags:
+        icslt.insert(tag)
+        acslt.insert(tag)
+    icslt_hits = sum(icslt.lookup(t) for t in tags)
+    acslt_hits = sum(acslt.lookup(t) for t in tags)
+    assert acslt_hits == len(tags)
+    assert icslt_hits < acslt_hits

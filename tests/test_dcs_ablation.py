@@ -1,0 +1,72 @@
+"""Tests for the DCS tag-granularity ablation knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcs import DcsScheme
+from repro.timing.dta import ERR_SE_MAX
+
+from tests.util import synthetic_error_trace
+
+
+def test_names_reflect_knobs():
+    assert DcsScheme("icslt").name == "DCS-ICSLT"
+    assert DcsScheme("icslt", use_owm=False).name == "DCS-ICSLT[noOWM]"
+    assert DcsScheme("icslt", use_prev=False).name == "DCS-ICSLT[noPrev]"
+    assert (
+        DcsScheme("acslt", use_owm=False, use_prev=False).name
+        == "DCS-ACSLT[noOWM,noPrev]"
+    )
+
+
+def _owm_split_trace():
+    """One opcode errs only with OWM set; occurs both ways."""
+    n = 40
+    classes = np.zeros(n, dtype=np.int8)
+    owm = np.zeros(n, dtype=bool)
+    owm[::2] = True
+    classes[::2] = ERR_SE_MAX  # errs exactly when OWM set
+    return synthetic_error_trace(classes, owm=owm)
+
+
+def test_full_tag_separates_owm_contexts():
+    trace = _owm_split_trace()
+    result = DcsScheme("icslt", 32).simulate(trace)
+    # OWM-reset occurrences form a different tag: never falsely stalled
+    assert result.false_positives == 0
+    assert result.errors_predicted == result.errors_total - 1
+
+
+def test_no_owm_tag_aliases_contexts():
+    trace = _owm_split_trace()
+    result = DcsScheme("icslt", 32, use_owm=False).simulate(trace)
+    # the clean OWM-reset occurrences now alias the errant tag
+    assert result.false_positives > 0
+
+
+def _prev_split_trace():
+    """Errs only after initialising opcode 7; both predecessors occur."""
+    n = 60
+    classes = np.zeros(n, dtype=np.int8)
+    init = np.where(np.arange(n) % 2 == 0, 7, 3).astype(np.int16)
+    classes[init == 7] = ERR_SE_MAX
+    return synthetic_error_trace(classes, instr_init=init)
+
+
+def test_prev_half_of_tag_matters():
+    trace = _prev_split_trace()
+    full = DcsScheme("icslt", 32).simulate(trace)
+    coarse = DcsScheme("icslt", 32, use_prev=False).simulate(trace)
+    assert full.false_positives == 0
+    assert coarse.false_positives > 0
+
+
+def test_coarse_tags_trade_misses_for_stalls(error_trace16_vortex):
+    """On a real trace, dropping tag bits cannot reduce wasted stalls."""
+    full = DcsScheme("icslt", 128).simulate(error_trace16_vortex)
+    coarse = DcsScheme(
+        "icslt", 128, use_owm=False, use_prev=False
+    ).simulate(error_trace16_vortex)
+    if full.errors_total >= 20:
+        assert coarse.false_positives >= full.false_positives
+        assert coarse.unique_instances <= full.unique_instances

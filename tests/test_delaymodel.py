@@ -1,0 +1,101 @@
+"""Unit tests for the trans-regional delay model."""
+
+import numpy as np
+import pytest
+
+from repro.gates.celllib import GateKind
+from repro.pv.delaymodel import (
+    NTC,
+    STC,
+    VTH_NOMINAL,
+    Corner,
+    delay_factor,
+    drive_strength,
+    dynamic_energy_factor,
+    leakage_power_factor,
+    nominal_delay_factor,
+    nominal_gate_delays,
+)
+
+
+def test_reference_normalisation():
+    assert delay_factor(STC.vdd, VTH_NOMINAL) == pytest.approx(1.0)
+    assert nominal_delay_factor(STC) == pytest.approx(1.0)
+
+
+def test_ntc_is_several_times_slower_than_stc():
+    slowdown = nominal_delay_factor(NTC)
+    assert 4.0 < slowdown < 12.0  # the paper cites ~10x
+
+
+def test_delay_increases_with_vth():
+    vths = np.linspace(0.1, 0.6, 40)
+    factors = np.asarray(delay_factor(NTC.vdd, vths))
+    assert (np.diff(factors) > 0).all()
+
+
+def test_drive_decreases_with_vth():
+    assert drive_strength(0.8, 0.2) > drive_strength(0.8, 0.4)
+
+
+def test_same_dvth_hurts_ntc_far_more_than_stc():
+    """The paper's central mechanism: PV sensitivity amplification at NTC."""
+    dvth = 0.10
+    stc_ratio = delay_factor(STC.vdd, VTH_NOMINAL + dvth) / nominal_delay_factor(STC)
+    ntc_ratio = delay_factor(NTC.vdd, VTH_NOMINAL + dvth) / nominal_delay_factor(NTC)
+    assert ntc_ratio > 2.0 * stc_ratio
+
+
+def test_twenty_x_tail_reachable_at_ntc():
+    """A strong (but physical) ΔVth reaches the paper's ~20x deviation at
+    NTC while staying below ~3x at STC."""
+    dvth = 0.18
+    ntc_ratio = delay_factor(NTC.vdd, VTH_NOMINAL + dvth) / nominal_delay_factor(NTC)
+    stc_ratio = delay_factor(STC.vdd, VTH_NOMINAL + dvth) / nominal_delay_factor(STC)
+    assert ntc_ratio > 15.0
+    assert stc_ratio < 3.5
+
+
+def test_fast_gates_from_negative_dvth():
+    ratio = delay_factor(NTC.vdd, VTH_NOMINAL - 0.10) / nominal_delay_factor(NTC)
+    assert ratio < 0.5  # the choke-buffer mechanism
+
+
+def test_vectorised_and_scalar_agree():
+    vths = np.array([0.25, 0.33, 0.40])
+    vector = np.asarray(delay_factor(0.6, vths))
+    for vth, expected in zip(vths, vector):
+        assert delay_factor(0.6, float(vth)) == pytest.approx(float(expected))
+
+
+def test_no_overflow_for_extreme_overdrive():
+    assert np.isfinite(delay_factor(5.0, 0.0))
+    assert np.isfinite(delay_factor(0.2, 0.6))
+
+
+def test_nominal_gate_delays(alu8):
+    delays_stc = nominal_gate_delays(alu8.netlist, STC)
+    delays_ntc = nominal_gate_delays(alu8.netlist, NTC)
+    assert len(delays_stc) == alu8.netlist.num_nodes
+    # sources have zero delay
+    for node in alu8.netlist.input_ids:
+        assert delays_stc[node] == 0.0
+    # gates: NTC slower by the nominal factor
+    gate = alu8.netlist.output_ids[0]
+    assert delays_ntc[gate] == pytest.approx(
+        delays_stc[gate] * nominal_delay_factor(NTC)
+    )
+    kind = alu8.netlist.kind(gate)
+    assert kind is not GateKind.INPUT
+
+
+def test_energy_factors():
+    assert dynamic_energy_factor(STC) == pytest.approx(1.0)
+    assert dynamic_energy_factor(NTC) == pytest.approx((0.45 / 0.8) ** 2)
+    assert leakage_power_factor(NTC) < leakage_power_factor(STC) == pytest.approx(1.0)
+
+
+def test_corner_str():
+    assert "NTC" in str(NTC) and "0.45" in str(NTC)
+    corner = Corner("X", 0.6)
+    assert corner.vdd == 0.6

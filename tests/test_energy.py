@@ -1,0 +1,126 @@
+"""Unit tests for the energy/EDP models and hardware-overhead estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import RazorScheme
+from repro.energy.metrics import energy_report, normalize_to
+from repro.energy.overheads import (
+    acslt_gate_count,
+    cet_gate_count,
+    dcs_overheads,
+    icslt_gate_count,
+    trident_overheads,
+)
+from repro.energy.power import core_power_mw, scheme_energy
+from repro.pv.delaymodel import NTC, STC
+from repro.timing.dta import ERR_SE_MAX
+
+from tests.util import synthetic_error_trace
+
+
+def test_core_power_ntc_far_below_stc():
+    assert core_power_mw(NTC) < 0.25 * core_power_mw(STC)
+    assert core_power_mw(STC) > 0
+
+
+def test_scheme_energy_basics():
+    trace = synthetic_error_trace(np.zeros(100, dtype=np.int8))
+    result = RazorScheme().simulate(trace)
+    energy = scheme_energy(result, NTC)
+    assert energy.execution_time_ns == pytest.approx(100 * 1.0)  # 1000 ps cycles
+    assert energy.energy_nj > 0
+    assert energy.edp == pytest.approx(energy.energy_nj * energy.execution_time_ns)
+    assert energy.efficiency == pytest.approx(1.0 / energy.edp)
+
+
+def test_overhead_increases_power():
+    trace = synthetic_error_trace(np.zeros(100, dtype=np.int8))
+    result = RazorScheme().simulate(trace)
+    bare = scheme_energy(result, NTC)
+    loaded = scheme_energy(result, NTC, overhead=dcs_overheads("icslt", 128))
+    assert loaded.average_power_mw > bare.average_power_mw
+    assert loaded.edp > bare.edp
+
+
+def test_energy_report_normalisation():
+    classes = np.zeros(200, dtype=np.int8)
+    classes[::10] = ERR_SE_MAX
+    trace = synthetic_error_trace(classes)
+    razor = RazorScheme().simulate(trace)
+    report = energy_report(razor, razor, NTC)
+    assert report.normalized_performance == pytest.approx(1.0)
+    assert report.normalized_efficiency == pytest.approx(1.0)
+    assert report.normalized_penalty == pytest.approx(1.0)
+
+
+def test_energy_report_rejects_cross_benchmark():
+    a = RazorScheme().simulate(synthetic_error_trace(np.zeros(10, dtype=np.int8), ))
+    b_trace = synthetic_error_trace(np.zeros(10, dtype=np.int8))
+    b_trace.benchmark = "other"
+    b = RazorScheme().simulate(b_trace)
+    with pytest.raises(ValueError):
+        energy_report(a, b, NTC)
+
+
+def test_normalize_to_requires_baseline():
+    result = RazorScheme().simulate(synthetic_error_trace(np.zeros(10, dtype=np.int8)))
+    with pytest.raises(KeyError):
+        normalize_to({"Razor": result}, NTC, baseline="HFG")
+
+
+# ---------------------------------------------------------------------------
+# overhead estimator calibration (against the paper's reported numbers)
+# ---------------------------------------------------------------------------
+
+
+def test_icslt_gate_count_calibration():
+    assert icslt_gate_count(128) == pytest.approx(567, abs=3)
+
+
+def test_acslt_gate_count_calibration():
+    assert acslt_gate_count(32, 16) == pytest.approx(2255, abs=10)
+
+
+def test_dcs_icslt_overheads_match_paper():
+    report = dcs_overheads("icslt", 128)
+    assert report.total_gates == pytest.approx(1553, abs=5)
+    assert report.area_percent == pytest.approx(0.23, abs=0.01)
+    assert report.wirelength_percent == pytest.approx(0.77, abs=0.05)
+    assert report.power_percent == pytest.approx(0.85, abs=0.05)
+
+
+def test_dcs_acslt_overheads_match_paper():
+    report = dcs_overheads("acslt", 32, 16)
+    assert report.total_gates == pytest.approx(3241, abs=10)
+    assert report.area_percent == pytest.approx(0.48, abs=0.01)
+    assert report.power_percent == pytest.approx(1.20, abs=0.05)
+
+
+def test_trident_overheads_match_paper():
+    report = trident_overheads(128)
+    assert report.area_percent == pytest.approx(0.97, abs=0.06)
+    assert report.wirelength_percent == pytest.approx(1.12, abs=0.06)
+    assert report.power_percent == pytest.approx(1.58, abs=0.06)
+
+
+def test_overheads_scale_with_table_size():
+    small = dcs_overheads("icslt", 32)
+    big = dcs_overheads("icslt", 256)
+    assert big.storage_gates > small.storage_gates
+    assert big.area_percent > small.area_percent
+    assert cet_gate_count(256) > cet_gate_count(64)
+
+
+def test_overhead_validation():
+    with pytest.raises(ValueError):
+        icslt_gate_count(0)
+    with pytest.raises(ValueError):
+        acslt_gate_count(4, 0)
+    with pytest.raises(ValueError):
+        dcs_overheads("bogus")
+
+
+def test_power_fraction():
+    report = dcs_overheads("icslt", 128)
+    assert report.power_fraction == pytest.approx(report.power_percent / 100.0)

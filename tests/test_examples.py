@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_has_the_documented_scripts():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "choke_characterization.py",
+        "scheme_tournament.py",
+        "chip_lottery.py",
+        "choke_buffers.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "scheme comparison" in result.stdout
+    assert "DCS" in result.stdout
+
+
+@pytest.mark.slow
+def test_chip_lottery_runs():
+    result = _run("chip_lottery.py")
+    assert result.returncode == 0, result.stderr
+    assert "chips of this batch" in result.stdout

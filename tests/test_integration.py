@@ -1,0 +1,112 @@
+"""Integration tests: the full flow from netlist to scheme comparison."""
+
+import numpy as np
+import pytest
+
+from repro.arch.trace import BENCHMARKS, generate_trace
+from repro.core.dcs import DcsScheme
+from repro.core.scheme_sim import build_error_trace
+from repro.core.schemes import HfgScheme, OcstScheme, RazorScheme
+from repro.core.trident import TridentScheme
+from repro.energy.metrics import normalize_to
+from repro.energy.overheads import dcs_overheads, trident_overheads
+from repro.pv.delaymodel import NTC
+
+
+@pytest.fixture(scope="module")
+def all_scheme_results(error_trace16):
+    schemes = (
+        RazorScheme(),
+        HfgScheme(),
+        OcstScheme(interval=400),
+        DcsScheme("icslt", 128),
+        DcsScheme("acslt", 32, 16),
+        TridentScheme(128),
+    )
+    return {s.name: s.simulate(error_trace16) for s in schemes}
+
+
+def test_all_schemes_produce_consistent_results(all_scheme_results, error_trace16):
+    for name, result in all_scheme_results.items():
+        assert result.base_cycles == len(error_trace16)
+        assert result.penalty_cycles >= 0
+        assert 0.0 <= result.prediction_accuracy <= 1.0
+        assert result.effective_clock_period >= error_trace16.clock_period * 0.999
+        assert result.errors_predicted + result.errors_missed == result.errors_total
+
+
+def test_dcs_beats_razor_on_penalties(all_scheme_results):
+    razor = all_scheme_results["Razor"]
+    if razor.errors_total < 20:
+        pytest.skip("reference chip produced too few errors for comparison")
+    for name in ("DCS-ICSLT", "DCS-ACSLT"):
+        assert all_scheme_results[name].penalty_cycles < razor.penalty_cycles
+
+
+def test_dcs_and_trident_predict_most_errors(all_scheme_results):
+    for name in ("DCS-ICSLT", "DCS-ACSLT", "Trident"):
+        result = all_scheme_results[name]
+        if result.errors_total >= 50:
+            assert result.prediction_accuracy > 0.5
+
+
+def test_trident_covers_min_errors_razor_does_not(all_scheme_results, error_trace16):
+    counts = error_trace16.error_counts()
+    razor = all_scheme_results["Razor"]
+    trident = all_scheme_results["Trident"]
+    assert razor.errors_total == counts["se_max"] + counts["ce"]
+    assert trident.errors_total == (
+        counts["se_max"] + counts["se_min"] + counts["ce"]
+    )
+
+
+def test_normalized_reports_are_finite(all_scheme_results):
+    overheads = {
+        "DCS-ICSLT": dcs_overheads("icslt", 128),
+        "DCS-ACSLT": dcs_overheads("acslt", 32, 16),
+        "Trident": trident_overheads(128),
+    }
+    reports = normalize_to(all_scheme_results, NTC, overheads)
+    for report in reports.values():
+        assert np.isfinite(report.normalized_performance)
+        assert np.isfinite(report.normalized_efficiency)
+        assert report.normalized_performance > 0
+
+
+def test_hfg_never_pays_penalties_but_runs_slower(all_scheme_results):
+    hfg = all_scheme_results["HFG"]
+    razor = all_scheme_results["Razor"]
+    assert hfg.penalty_cycles == 0
+    if razor.errors_total > 0:
+        assert hfg.effective_clock_period > razor.effective_clock_period
+
+
+def test_end_to_end_determinism(stage16_ntc, chip16):
+    trace = generate_trace(BENCHMARKS["gzip"], 600, width=16)
+    results = []
+    for _ in range(2):
+        errors = build_error_trace(stage16_ntc, chip16, trace)
+        results.append(DcsScheme("icslt", 64).simulate(errors))
+    assert results[0].penalty_cycles == results[1].penalty_cycles
+    assert results[0].errors_total == results[1].errors_total
+
+
+def test_different_chips_learn_different_signatures(stage16_ntc, mcf_trace16):
+    """Two fabricated chips of the same design show different choke
+    signatures -- the per-chip adaptivity the paper motivates."""
+    outcomes = []
+    for seed in (0, 2, 3, 8, 10):
+        chip = stage16_ntc.fabricate(seed=seed)
+        errors = build_error_trace(stage16_ntc, chip, mcf_trace16)
+        result = DcsScheme("icslt", 128).simulate(errors)
+        outcomes.append((result.errors_total, result.unique_instances))
+    assert len(set(outcomes)) > 1
+
+
+def test_stc_chip_is_nearly_error_free(stage16_stc, mcf_trace16):
+    """The same ΔVth that chokes NTC chips leaves STC timing intact."""
+    chip = stage16_stc.fabricate(seed=10)
+    errors = build_error_trace(stage16_stc, chip, mcf_trace16)
+    counts = errors.error_counts()
+    ntc_like_errors = counts["se_max"] + counts["se_min"] + counts["ce"]
+    assert ntc_like_errors < 0.01 * len(errors)

@@ -1,0 +1,56 @@
+"""Unit tests for the ISA and its ALU mapping."""
+
+from repro.arch.isa import (
+    FIG3_4_INSTRS,
+    FIG4_2_INSTRS,
+    FIG4_3_INSTRS,
+    INSTRUCTIONS,
+    Instr,
+    instr_to_alu,
+)
+from repro.circuits.alu import AluOp
+
+
+def test_every_instruction_has_a_spec():
+    assert set(INSTRUCTIONS) == set(Instr)
+
+
+def test_alu_mapping_spot_checks():
+    assert instr_to_alu(Instr.ADDU) is AluOp.ADD
+    assert instr_to_alu(Instr.ADDIU) is AluOp.ADD
+    assert instr_to_alu(Instr.SUBU) is AluOp.SUB
+    assert instr_to_alu(Instr.SRL) is AluOp.LSR
+    assert instr_to_alu(Instr.SRA) is AluOp.ASR
+    assert instr_to_alu(Instr.SRAV) is AluOp.ASR
+    assert instr_to_alu(Instr.LUI) is AluOp.SLL
+    assert instr_to_alu(Instr.MFLO) is AluOp.BUFFER
+    assert instr_to_alu(Instr.NOR) is AluOp.NOR
+
+
+def test_immediate_flags():
+    assert INSTRUCTIONS[Instr.ADDIU].immediate
+    assert INSTRUCTIONS[Instr.ANDI].immediate
+    assert INSTRUCTIONS[Instr.ORI].immediate
+    assert not INSTRUCTIONS[Instr.ADDU].immediate
+
+
+def test_shift_flags():
+    for instr in (Instr.SLL, Instr.SRL, Instr.SRA, Instr.SLLV, Instr.SRAV, Instr.LUI):
+        assert INSTRUCTIONS[instr].shift
+    assert not INSTRUCTIONS[Instr.XOR].shift
+
+
+def test_figure_instruction_lists_match_the_paper():
+    assert len(FIG3_4_INSTRS) == 8
+    assert len(FIG4_2_INSTRS) == 15
+    assert len(FIG4_3_INSTRS) == 8
+    assert Instr.NOR in FIG3_4_INSTRS
+    assert Instr.MFLO in FIG4_2_INSTRS
+    assert Instr.SLLV in FIG4_3_INSTRS
+    # the figure lists only reference defined instructions
+    for group in (FIG3_4_INSTRS, FIG4_2_INSTRS, FIG4_3_INSTRS):
+        assert set(group) <= set(Instr)
+
+
+def test_opcodes_fit_eight_bits():
+    assert all(0 <= int(i) < 256 for i in Instr)

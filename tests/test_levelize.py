@@ -1,0 +1,79 @@
+"""Unit tests for circuit levelisation."""
+
+import numpy as np
+
+from repro.gates.builder import NetlistBuilder
+from repro.gates.celllib import GateKind
+from repro.timing.levelize import levelize
+
+from tests.util import random_netlist
+
+
+def test_levelized_structure_small():
+    builder = NetlistBuilder()
+    a, b = builder.input("a"), builder.input("b")
+    inv = builder.not_(a)
+    and_ = builder.and_(inv, b)
+    builder.output("y", and_)
+    circuit = levelize(builder.build())
+
+    assert circuit.depth == 2
+    assert list(circuit.input_ids) == [a, b]
+    assert list(circuit.output_ids) == [and_]
+    # level 1 holds the INV, level 2 the AND
+    assert circuit.levels[0][0].kind is GateKind.INV
+    assert circuit.levels[1][0].kind is GateKind.AND2
+
+
+def test_every_gate_appears_exactly_once(rng):
+    netlist = random_netlist(rng, num_gates=60)
+    circuit = levelize(netlist)
+    seen = []
+    for groups in circuit.levels:
+        for group in groups:
+            seen.extend(group.nodes.tolist())
+    gates = [
+        node for node, kind, fanins in netlist.iter_nodes() if fanins
+    ]
+    assert sorted(seen) == sorted(gates)
+
+
+def test_groups_are_homogeneous_and_leveled(rng):
+    netlist = random_netlist(rng, num_gates=80)
+    circuit = levelize(netlist)
+    node_levels = netlist.levels()
+    for level_index, groups in enumerate(circuit.levels, start=1):
+        for group in groups:
+            for node in group.nodes:
+                assert netlist.kind(int(node)) is group.kind
+                assert node_levels[node] == level_index
+
+
+def test_fanin_arrays_match_netlist(rng):
+    netlist = random_netlist(rng, num_gates=50)
+    circuit = levelize(netlist)
+    for groups in circuit.levels:
+        for group in groups:
+            for i, node in enumerate(group.nodes):
+                fanins = netlist.fanins(int(node))
+                assert group.in0[i] == fanins[0]
+                if len(fanins) > 1:
+                    assert group.in1[i] == fanins[1]
+                if len(fanins) > 2:
+                    assert group.in2[i] == fanins[2]
+
+
+def test_const_ids_extracted():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    zero = builder.const(0)
+    one = builder.const(1)
+    builder.output("y", builder.mux(a, zero, one))
+    circuit = levelize(builder.build())
+    assert list(circuit.const0_ids) == [zero]
+    assert list(circuit.const1_ids) == [one]
+
+
+def test_depth_matches_logic_depth(alu8):
+    circuit = levelize(alu8.netlist)
+    assert circuit.depth == max(alu8.netlist.levels())

@@ -1,0 +1,96 @@
+"""Unit and property tests for the array multiplier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.multiplier import array_multiplier, half_width_multiplier
+from repro.gates.builder import NetlistBuilder
+
+from tests.util import eval_word, int_to_bits
+
+
+def _multiply(width_a, width_b, a, b):
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", width_a)
+    wb = builder.input_word("b", width_b)
+    product = array_multiplier(builder, wa, wb)
+    assert len(product) == width_a + width_b
+    return eval_word(
+        builder, product, int_to_bits(a, width_a) + int_to_bits(b, width_b)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_8x8_multiplication(a, b):
+    assert _multiply(8, 8, a, b) == a * b
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(0, 15), b=st.integers(0, 127))
+def test_asymmetric_widths(a, b):
+    assert _multiply(4, 7, a, b) == a * b
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (255, 255), (255, 1), (128, 2)])
+def test_corner_values(a, b):
+    assert _multiply(8, 8, a, b) == a * b
+
+
+def test_one_bit_operands():
+    for a in (0, 1):
+        for b in (0, 1):
+            assert _multiply(1, 1, a, b) == a * b
+
+
+def test_empty_operands_rejected():
+    builder = NetlistBuilder()
+    with pytest.raises(ValueError):
+        array_multiplier(builder, [], [builder.input("b")])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_half_width_multiplier_semantics(a, b):
+    width = 8
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", width)
+    wb = builder.input_word("b", width)
+    product = half_width_multiplier(builder, wa, wb)
+    assert len(product) == width
+    value = eval_word(
+        builder, product, int_to_bits(a, width) + int_to_bits(b, width)
+    )
+    half_mask = (1 << (width // 2)) - 1
+    assert value == ((a & half_mask) * (b & half_mask)) & ((1 << width) - 1)
+
+
+def test_half_width_multiplier_width_mismatch_rejected():
+    builder = NetlistBuilder()
+    with pytest.raises(ValueError):
+        half_width_multiplier(
+            builder, builder.input_word("a", 8), builder.input_word("b", 4)
+        )
+
+
+def test_multiplier_is_the_deepest_unit():
+    """The MULT path should dominate the ALU's logic depth (the paper's
+    'computation-heavy operations sensitise the most paths')."""
+    builder = NetlistBuilder()
+    wa = builder.input_word("a", 8)
+    wb = builder.input_word("b", 8)
+    product = array_multiplier(builder, wa, wb)
+    builder.output_word("p", product)
+    depth_mult = builder.build().logic_depth()
+
+    from repro.circuits.adders import ripple_carry_adder
+
+    builder2 = NetlistBuilder()
+    wa2 = builder2.input_word("a", 8)
+    wb2 = builder2.input_word("b", 8)
+    total, cout = ripple_carry_adder(builder2, wa2, wb2)
+    builder2.output_word("s", total + [cout])
+    depth_add = builder2.build().logic_depth()
+
+    assert depth_mult > depth_add

@@ -1,0 +1,143 @@
+"""Unit tests for the netlist data structure."""
+
+import numpy as np
+import pytest
+
+from repro.gates.celllib import GateKind
+from repro.gates.netlist import Netlist
+
+from tests.util import random_netlist
+
+
+@pytest.fixture()
+def small():
+    """in0 -> INV -> AND(in1) -> out, plus an unused OR gate."""
+    netlist = Netlist("small")
+    a = netlist.add(GateKind.INPUT, (), name="a")
+    b = netlist.add(GateKind.INPUT, (), name="b")
+    inv = netlist.add(GateKind.INV, (a,))
+    and_ = netlist.add(GateKind.AND2, (inv, b))
+    netlist.add(GateKind.OR2, (a, b))  # dead
+    netlist.mark_output("y", and_)
+    return netlist
+
+
+def test_counts(small):
+    assert small.num_nodes == 5
+    assert small.num_gates == 3
+    assert small.input_ids == (0, 1)
+    assert small.output_ids == (3,)
+    assert small.output_names == ("y",)
+    assert len(small) == 5
+
+
+def test_kind_and_fanins(small):
+    assert small.kind(2) is GateKind.INV
+    assert small.fanins(3) == (2, 1)
+    assert small.fanins(0) == ()
+
+
+def test_wrong_arity_rejected():
+    netlist = Netlist()
+    a = netlist.add(GateKind.INPUT, ())
+    with pytest.raises(ValueError, match="expects 2 fanins"):
+        netlist.add(GateKind.AND2, (a,))
+
+
+def test_forward_reference_rejected():
+    netlist = Netlist()
+    netlist.add(GateKind.INPUT, ())
+    with pytest.raises(ValueError, match="not an existing node"):
+        netlist.add(GateKind.INV, (5,))
+
+
+def test_self_reference_rejected():
+    netlist = Netlist()
+    netlist.add(GateKind.INPUT, ())
+    with pytest.raises(ValueError):
+        netlist.add(GateKind.INV, (1,))  # node 1 is being created
+
+
+def test_duplicate_output_name_rejected(small):
+    with pytest.raises(ValueError, match="duplicate output"):
+        small.mark_output("y", 2)
+
+
+def test_output_unknown_node_rejected(small):
+    with pytest.raises(ValueError, match="unknown node"):
+        small.mark_output("z", 99)
+
+
+def test_levels(small):
+    levels = small.levels()
+    assert levels[0] == levels[1] == 0
+    assert levels[2] == 1
+    assert levels[3] == 2
+    assert small.logic_depth() == 2
+
+
+def test_fanouts(small):
+    fanouts = small.fanouts()
+    assert fanouts[0] == [2, 4]
+    assert fanouts[1] == [3, 4]
+    assert fanouts[2] == [3]
+    assert fanouts[3] == []
+
+
+def test_transitive_fanin(small):
+    cone = small.transitive_fanin([3])
+    assert cone == {0, 1, 2, 3}
+
+
+def test_dead_nodes(small):
+    assert small.dead_nodes() == {4}
+
+
+def test_fanin_arrays(small):
+    in0, in1, in2 = small.fanin_arrays()
+    assert in0[2] == 0 and in1[2] == -1 and in2[2] == -1
+    assert in0[3] == 2 and in1[3] == 1
+    assert in0[0] == -1  # inputs have no fanins
+
+
+def test_kinds_array(small):
+    kinds = small.kinds_array()
+    assert kinds.dtype == np.int8
+    assert kinds[2] == int(GateKind.INV)
+
+
+def test_gate_count_by_kind(small):
+    counts = small.gate_count_by_kind()
+    assert counts[GateKind.INPUT] == 2
+    assert counts[GateKind.INV] == 1
+
+
+def test_name_of(small):
+    assert small.name_of(0) == "a"
+    assert small.name_of(3) == "n3"
+
+
+def test_total_area_positive(small):
+    assert small.total_area_um2() > 0
+
+
+def test_to_networkx(small):
+    graph = small.to_networkx()
+    assert graph.number_of_nodes() == 5
+    assert graph.has_edge(2, 3)
+    import networkx as nx
+
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+def test_random_netlists_are_acyclic_by_construction(rng):
+    import networkx as nx
+
+    for _ in range(5):
+        netlist = random_netlist(rng)
+        assert nx.is_directed_acyclic_graph(netlist.to_networkx())
+
+
+def test_repr(small):
+    text = repr(small)
+    assert "small" in text and "gates=3" in text

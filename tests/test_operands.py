@@ -1,0 +1,68 @@
+"""Unit and property tests for OWM / operand-size classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.operands import operand_size_class, owm_flag, significant_width
+
+
+def test_significant_width_examples():
+    assert significant_width(0) == 0
+    assert significant_width(1) == 1
+    assert significant_width(0x8000) == 16
+    assert significant_width(0xFFFF) == 16
+    assert significant_width(0x10000) == 17
+
+
+def test_significant_width_rejects_negative():
+    with pytest.raises(ValueError):
+        significant_width(-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(0, 2**32 - 1))
+def test_size_class_matches_significant_width(value):
+    assert operand_size_class(value, 32) == (significant_width(value) > 16)
+
+
+def test_owm_set_when_either_operand_high():
+    width = 32
+    assert owm_flag(0x10000, 0, width) is True
+    assert owm_flag(0, 0x10000, width) is True
+    assert owm_flag(0xFFFF, 0xFFFF, width) is False
+    assert owm_flag(0, 0, width) is False
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+def test_owm_is_or_of_size_classes(a, b):
+    expected = operand_size_class(a, 32) or operand_size_class(b, 32)
+    assert owm_flag(a, b, 32) == expected
+
+
+def test_vectorised_owm():
+    a = np.array([0, 0x10000, 5], dtype=np.uint64)
+    b = np.array([0, 0, 0x20000], dtype=np.uint64)
+    flags = owm_flag(a, b, 32)
+    assert flags.tolist() == [False, True, True]
+
+
+def test_vectorised_size_class():
+    values = np.array([0, 0xFFFF, 0x10000, 0xFFFFFFFF], dtype=np.uint64)
+    classes = operand_size_class(values, 32)
+    assert classes.tolist() == [False, False, True, True]
+
+
+def test_boundary_exactly_half_width():
+    # leftmost set bit at position width/2 + 1 -> "high"
+    assert operand_size_class(1 << 16, 32) is True
+    assert operand_size_class((1 << 16) - 1, 32) is False
+    assert operand_size_class(1 << 8, 16) is True
+
+
+def test_narrow_width():
+    assert operand_size_class(4, 4) is True  # leftmost bit at pos 3 of 4
+    assert operand_size_class(3, 4) is False  # significant width 2 = half
+    assert operand_size_class(1, 4) is False

@@ -1,0 +1,92 @@
+"""Unit tests for path extraction and trace-back."""
+
+import numpy as np
+import pytest
+
+from repro.gates.builder import NetlistBuilder
+from repro.gates.celllib import GateKind
+from repro.timing.dta import single_transition_arrivals
+from repro.timing.levelize import levelize
+from repro.timing.paths import trace_critical_path, trace_dynamic_path
+from repro.timing.sta import arrival_times
+
+
+def _branchy():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    b = builder.input("b")
+    slow = builder.buf(builder.buf(builder.buf(a)))
+    fast = builder.buf(b)
+    out = builder.and_(slow, fast)
+    builder.output("y", out)
+    netlist = builder.build()
+    delays = np.zeros(netlist.num_nodes)
+    for node in range(netlist.num_nodes):
+        if netlist.fanins(node):
+            delays[node] = 10.0
+    return netlist, delays, (a, b, slow, fast, out)
+
+
+def test_trace_critical_path_follows_slow_branch():
+    netlist, delays, (a, b, slow, fast, out) = _branchy()
+    path = trace_critical_path(netlist, delays)
+    assert path.nodes[0] == a
+    assert path.nodes[-1] == out
+    assert slow in path.nodes
+    assert fast not in path.nodes
+    assert path.delay == pytest.approx(40.0)
+    assert len(path) == 5  # a + 3 bufs + and
+    assert path.gate_count(netlist) == 4
+
+
+def test_path_gate_kinds():
+    netlist, delays, _ = _branchy()
+    path = trace_critical_path(netlist, delays)
+    kinds = path.gate_kinds(netlist)
+    assert kinds[0] is GateKind.INPUT
+    assert kinds[-1] is GateKind.AND2
+
+
+def test_path_is_structurally_connected():
+    netlist, delays, _ = _branchy()
+    path = trace_critical_path(netlist, delays)
+    for upstream, downstream in zip(path.nodes, path.nodes[1:]):
+        assert upstream in netlist.fanins(downstream)
+
+
+def test_dynamic_traceback_follows_sensitised_branch():
+    netlist, delays, (a, b, slow, fast, out) = _branchy()
+    circuit = levelize(netlist)
+    # b=1 constant; a toggles -> output toggles via the slow branch only
+    late, _early, toggled = single_transition_arrivals(
+        circuit, np.array([0, 1]), np.array([1, 1]), delays
+    )
+    assert toggled[out]
+    path = trace_dynamic_path(netlist, late, delays, out, toggled)
+    assert path.nodes[0] == a
+    assert slow in path.nodes
+    assert all(toggled[node] for node in path.nodes)
+
+
+def test_dynamic_traceback_requires_toggled_endpoint():
+    netlist, delays, (_a, _b, _slow, _fast, out) = _branchy()
+    circuit = levelize(netlist)
+    late, _early, toggled = single_transition_arrivals(
+        circuit, np.array([0, 0]), np.array([0, 0]), delays
+    )
+    with pytest.raises(ValueError):
+        trace_dynamic_path(netlist, late, delays, out, toggled)
+
+
+def test_traceback_consistent_with_arrivals(alu8):
+    rng = np.random.default_rng(31)
+    delays = np.where(
+        [bool(alu8.netlist.fanins(n)) for n in range(alu8.netlist.num_nodes)],
+        rng.uniform(2.0, 20.0, alu8.netlist.num_nodes),
+        0.0,
+    )
+    arrivals = arrival_times(alu8.netlist, delays, "max")
+    path = trace_critical_path(alu8.netlist, delays)
+    # the path delay accumulates to the endpoint arrival
+    accumulated = sum(delays[node] for node in path.nodes)
+    assert accumulated == pytest.approx(arrivals[path.nodes[-1]], rel=1e-6)

@@ -1,0 +1,31 @@
+"""Unit tests for the pipeline cost model."""
+
+import pytest
+
+from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
+
+
+def test_defaults_match_fabscalar_core1():
+    assert DEFAULT_PIPELINE.depth == 11
+    assert DEFAULT_PIPELINE.fetch_width == 4
+
+
+def test_flush_penalty_equals_depth():
+    assert PipelineConfig(depth=7).flush_penalty == 7
+    assert DEFAULT_PIPELINE.flush_penalty == 11
+
+
+def test_stall_penalty_is_one():
+    assert DEFAULT_PIPELINE.stall_penalty == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PipelineConfig(depth=1)
+    with pytest.raises(ValueError):
+        PipelineConfig(depth=5, fetch_width=0)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_PIPELINE.depth = 5

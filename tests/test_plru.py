@@ -1,0 +1,83 @@
+"""Unit and property tests for the tree pseudo-LRU policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plru import PseudoLRUTree
+
+
+def test_power_of_two_required():
+    for bad in (0, 3, 6, 12):
+        with pytest.raises(ValueError):
+            PseudoLRUTree(bad)
+
+
+def test_single_way():
+    plru = PseudoLRUTree(1)
+    assert plru.victim() == 0
+    plru.touch(0)
+    assert plru.victim() == 0
+
+
+def test_touch_out_of_range():
+    plru = PseudoLRUTree(4)
+    with pytest.raises(ValueError):
+        plru.touch(4)
+
+
+def test_victim_is_never_the_last_touched():
+    plru = PseudoLRUTree(8)
+    for way in range(8):
+        plru.touch(way)
+        assert plru.victim() != way
+
+
+def test_round_robin_behaviour_under_sequential_touches():
+    """Touching the current victim repeatedly must cycle through all ways."""
+    plru = PseudoLRUTree(8)
+    seen = set()
+    for _ in range(8):
+        victim = plru.victim()
+        seen.add(victim)
+        plru.touch(victim)
+    assert seen == set(range(8))
+
+
+def test_victim_avoids_recently_used_subtree():
+    """Pseudo-LRU is approximate, but it always points away from the
+    most recently touched subtree."""
+    plru = PseudoLRUTree(4)
+    plru.touch(2)
+    plru.touch(3)
+    assert plru.victim() in (0, 1)
+    plru.touch(0)
+    plru.touch(1)
+    assert plru.victim() in (2, 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ways=st.sampled_from([2, 4, 8, 16]),
+    touches=st.lists(st.integers(0, 15), min_size=1, max_size=60),
+)
+def test_victim_always_valid_and_not_most_recent(ways, touches):
+    plru = PseudoLRUTree(ways)
+    last = None
+    for touch in touches:
+        way = touch % ways
+        plru.touch(way)
+        last = way
+        victim = plru.victim()
+        assert 0 <= victim < ways
+        if ways > 1:
+            assert victim != last
+
+
+def test_reset():
+    plru = PseudoLRUTree(4)
+    plru.touch(0)
+    plru.reset()
+    fresh = PseudoLRUTree(4)
+    assert plru.victim() == fresh.victim()

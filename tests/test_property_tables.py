@@ -1,0 +1,108 @@
+"""Hypothesis property tests on the table structures and scheme math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cslt import AssociativeCSLT, IndependentCSLT
+from repro.core.dcs import DcsScheme
+from repro.core.schemes import RazorScheme
+from repro.core.tags import DcsTag, ErrorId
+from repro.core.trident import TridentScheme
+from repro.core.trident.cet import ChokeErrorTable
+
+from tests.util import synthetic_error_trace
+
+tags = st.builds(
+    DcsTag,
+    st.integers(0, 15),
+    st.booleans(),
+    st.integers(0, 15),
+    st.booleans(),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequence=st.lists(tags, max_size=60))
+def test_icslt_never_exceeds_capacity_and_remembers_last(sequence):
+    table = IndependentCSLT(8)
+    for tag in sequence:
+        table.insert(tag)
+        assert len(table) <= 8
+        assert table.lookup(tag)  # just-inserted is always present
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequence=st.lists(tags, max_size=60))
+def test_acslt_never_exceeds_geometry(sequence):
+    table = AssociativeCSLT(4, 4)
+    for tag in sequence:
+        table.insert(tag)
+        assert len(table) <= 16
+        assert table.lookup(tag)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sequence=st.lists(
+        st.builds(
+            ErrorId,
+            st.integers(0, 15),
+            st.integers(0, 15),
+            st.booleans(),
+            st.booleans(),
+            st.integers(1, 3),
+        ),
+        max_size=50,
+    )
+)
+def test_cet_capacity_and_payload(sequence):
+    cet = ChokeErrorTable(8)
+    for eid in sequence:
+        cet.insert(eid)
+        assert len(cet) <= 8
+        assert cet.lookup(eid.key) == eid.err_class
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    classes=st.lists(st.integers(0, 3), min_size=2, max_size=120),
+    capacity=st.sampled_from([16, 64, 256]),
+)
+def test_scheme_accounting_identities(classes, capacity):
+    """Penalty bookkeeping identities hold on arbitrary error traces."""
+    trace = synthetic_error_trace(
+        np.array(classes, dtype=np.int8),
+        instr_sens=np.arange(len(classes), dtype=np.int16) % 7,
+        instr_init=np.arange(len(classes), dtype=np.int16) % 5,
+    )
+    for scheme in (DcsScheme("icslt", capacity), TridentScheme(capacity)):
+        result = scheme.simulate(trace)
+        assert result.errors_predicted + result.errors_missed == result.errors_total
+        assert result.penalty_cycles == (
+            result.stalls + result.flushes * 11
+        )
+        assert result.errors_missed <= result.flushes  # flush per miss (+escalations)
+        assert 0.0 <= result.prediction_accuracy <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(classes=st.lists(st.integers(0, 3), min_size=2, max_size=120))
+def test_razor_penalty_is_linear_in_max_errors(classes):
+    trace = synthetic_error_trace(np.array(classes, dtype=np.int8))
+    result = RazorScheme().simulate(trace)
+    max_errors = sum(1 for c in classes if c in (2, 3))
+    assert result.penalty_cycles == 11 * max_errors
+
+
+@settings(max_examples=20, deadline=None)
+@given(classes=st.lists(st.integers(0, 3), min_size=2, max_size=80))
+def test_larger_dcs_table_never_predicts_less(classes):
+    trace = synthetic_error_trace(
+        np.array(classes, dtype=np.int8),
+        instr_sens=np.arange(len(classes), dtype=np.int16) % 11,
+        instr_init=np.arange(len(classes), dtype=np.int16) % 3,
+    )
+    small = DcsScheme("icslt", 2).simulate(trace)
+    large = DcsScheme("icslt", 256).simulate(trace)
+    assert large.errors_predicted >= small.errors_predicted

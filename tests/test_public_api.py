@@ -1,0 +1,37 @@
+"""The documented top-level API surface stays importable and complete."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_documented_quickstart_names_present():
+    for name in (
+        "build_ex_stage", "NTC", "STC", "BENCHMARKS", "generate_trace",
+        "build_error_trace", "DcsScheme", "TridentScheme", "RazorScheme",
+        "HfgScheme", "OcstScheme", "fabricate_chip", "build_alu",
+        "alu_reference", "run_pipeline", "shmoo_sweep", "timing_report",
+    ):
+        assert name in repro.__all__, name
+
+
+def test_experiments_package_importable():
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    assert "fig3_2" in EXPERIMENTS
+    assert callable(run_experiment)
+
+
+def test_corners_are_singletons():
+    from repro.pv.delaymodel import NTC as ntc2
+
+    assert repro.NTC is ntc2
+    assert repro.NTC.vdd == 0.45
+    assert repro.STC.vdd == 0.80

@@ -1,0 +1,77 @@
+"""Unit tests for error-trace construction from real timing runs."""
+
+import numpy as np
+import pytest
+
+from repro.arch.operands import operand_size_class, owm_flag
+from repro.core.scheme_sim import build_error_trace
+from repro.timing.dta import ERR_CE, ERR_SE_MAX, ERR_SE_MIN
+
+
+def test_alignment_sensitising_vs_initialising(error_trace16, mcf_trace16):
+    assert len(error_trace16) == len(mcf_trace16) - 1
+    assert (error_trace16.instr_sens == mcf_trace16.instrs[1:]).all()
+    assert (error_trace16.instr_init == mcf_trace16.instrs[:-1]).all()
+    assert (error_trace16.static_ids == mcf_trace16.static_ids[1:]).all()
+
+
+def test_owm_and_sizes_follow_operands(error_trace16, mcf_trace16):
+    owm = owm_flag(mcf_trace16.a_values, mcf_trace16.b_values, 16)
+    assert (error_trace16.owm_sens == owm[1:]).all()
+    assert (error_trace16.owm_init == owm[:-1]).all()
+    sizes = operand_size_class(mcf_trace16.a_values, 16)
+    assert (error_trace16.size_a == sizes[1:]).all()
+
+
+def test_error_classes_consistent_with_arrivals(error_trace16):
+    trace = error_trace16
+    expect_max = trace.t_late > trace.clock_period
+    expect_min = trace.t_early < trace.hold_constraint
+    assert (trace.max_err == expect_max).all()
+    assert (trace.min_err == expect_min).all()
+    ce = expect_max & expect_min
+    assert ((trace.err_class == ERR_CE) == ce).all()
+
+
+def test_error_counts_sum(error_trace16):
+    counts = error_trace16.error_counts()
+    assert sum(counts.values()) == len(error_trace16)
+
+
+def test_metadata(error_trace16, stage16_ntc):
+    assert error_trace16.benchmark == "mcf"
+    assert error_trace16.corner == "NTC"
+    assert error_trace16.corner_vdd == pytest.approx(0.45)
+    assert error_trace16.clock_period == pytest.approx(stage16_ntc.clock_period)
+    assert error_trace16.hold_constraint == pytest.approx(
+        stage16_ntc.hold_constraint
+    )
+
+
+def test_width_mismatch_rejected(stage16_ntc, chip16):
+    from repro.arch.trace import BENCHMARKS, generate_trace
+
+    wrong = generate_trace(BENCHMARKS["mcf"], 50, width=32)
+    with pytest.raises(ValueError, match="width"):
+        build_error_trace(stage16_ntc, chip16, wrong)
+
+
+def test_deterministic(stage16_ntc, chip16, mcf_trace16):
+    a = build_error_trace(stage16_ntc, chip16, mcf_trace16)
+    b = build_error_trace(stage16_ntc, chip16, mcf_trace16)
+    assert (a.err_class == b.err_class).all()
+    assert np.allclose(a.t_late, b.t_late)
+
+
+def test_reference_chip_has_both_error_kinds(error_trace16):
+    """The FAST ch4 reference chip must exercise min and max paths."""
+    counts = error_trace16.error_counts()
+    assert counts["se_max"] > 0
+    assert counts["se_min"] > 0
+
+
+def test_max_only_chip(stage16_ntc, chip16_max_only, mcf_trace16):
+    trace = build_error_trace(stage16_ntc, chip16_max_only, mcf_trace16)
+    counts = trace.error_counts()
+    assert counts["se_max"] > 0
+    assert counts["se_min"] == 0

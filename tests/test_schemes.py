@@ -1,0 +1,120 @@
+"""Unit tests for the Razor, HFG, and OCST baseline schemes."""
+
+import numpy as np
+import pytest
+
+from repro.arch.pipeline import PipelineConfig
+from repro.core.schemes import HfgScheme, OcstScheme, RazorScheme
+from repro.core.schemes.hfg import pvta_guardband_factor
+from repro.timing.dta import ERR_NONE, ERR_SE_MAX, ERR_SE_MIN
+
+from tests.util import synthetic_error_trace
+
+
+def test_razor_pays_flush_per_max_error():
+    classes = np.array([ERR_SE_MAX, ERR_NONE, ERR_SE_MAX, ERR_SE_MIN], dtype=np.int8)
+    trace = synthetic_error_trace(classes)
+    result = RazorScheme(PipelineConfig(depth=11)).simulate(trace)
+    assert result.errors_total == 2  # min violation invisible to Razor
+    assert result.penalty_cycles == 22
+    assert result.errors_missed == 2
+    assert result.prediction_accuracy == 0.0
+    assert result.effective_clock_period == trace.clock_period
+
+
+def test_razor_clean_trace():
+    trace = synthetic_error_trace(np.zeros(10, dtype=np.int8))
+    result = RazorScheme().simulate(trace)
+    assert result.penalty_cycles == 0
+    assert result.prediction_accuracy == 1.0  # vacuous
+
+
+def test_hfg_has_no_penalties_but_stretches_clock():
+    classes = np.array([ERR_SE_MAX] * 3 + [ERR_NONE] * 7, dtype=np.int8)
+    trace = synthetic_error_trace(classes)
+    result = HfgScheme().simulate(trace)
+    assert result.penalty_cycles == 0
+    assert result.effective_clock_period > trace.clock_period
+    assert result.errors_predicted == result.errors_total == 3
+
+
+def test_hfg_guardband_far_larger_at_ntc_than_stc():
+    """The paper's argument: PVTA guardbands explode near threshold."""
+    ntc = pvta_guardband_factor(0.45)
+    stc = pvta_guardband_factor(0.80)
+    assert ntc > 2.0
+    assert stc < 1.6
+    assert ntc > 1.5 * stc
+
+
+def test_hfg_guardband_validation():
+    with pytest.raises(ValueError):
+        pvta_guardband_factor(0.45, droop=1.0)
+    with pytest.raises(ValueError):
+        pvta_guardband_factor(0.45, aging_delta_vth=-0.1)
+    with pytest.raises(ValueError):
+        HfgScheme(sensor_margin=-0.1)
+
+
+def test_hfg_corner_sensitivity_through_trace():
+    classes = np.array([ERR_SE_MAX] + [ERR_NONE] * 9, dtype=np.int8)
+    ntc_trace = synthetic_error_trace(classes, corner_vdd=0.45)
+    stc_trace = synthetic_error_trace(classes, corner_vdd=0.80)
+    ntc = HfgScheme().simulate(ntc_trace)
+    stc = HfgScheme().simulate(stc_trace)
+    assert (
+        ntc.effective_clock_period / ntc_trace.clock_period
+        > stc.effective_clock_period / stc_trace.clock_period
+    )
+
+
+def _marginal_error_trace(n=4000, overshoot=1.05):
+    """Max errors whose delay sits just above the clock (tunable)."""
+    classes = np.zeros(n, dtype=np.int8)
+    classes[::10] = ERR_SE_MAX
+    t_late = np.where(classes == ERR_SE_MAX, 1000.0 * overshoot, 800.0)
+    return synthetic_error_trace(classes, t_late=t_late)
+
+
+def test_ocst_tunes_away_marginal_errors():
+    trace = _marginal_error_trace(overshoot=1.05)
+    result = OcstScheme(interval=500).simulate(trace)
+    razor = RazorScheme().simulate(trace)
+    # after a few tuning intervals the skew covers the overshoot
+    assert result.errors_predicted > 0
+    assert result.penalty_cycles < razor.penalty_cycles
+    assert result.effective_clock_period > trace.clock_period
+
+
+def test_ocst_cannot_reach_choke_errors():
+    """Choke errors far beyond the skew range stay penalised; the tuner
+    must not burn period on them permanently."""
+    trace = _marginal_error_trace(overshoot=1.5)
+    result = OcstScheme(interval=500, max_skew_fraction=0.12).simulate(trace)
+    assert result.errors_predicted == 0
+    assert result.flushes == result.errors_total
+    # the revert logic bounds the average period inflation
+    assert result.effective_clock_period < trace.clock_period * 1.08
+
+
+def test_ocst_clean_trace_keeps_nominal_period():
+    trace = synthetic_error_trace(np.zeros(2000, dtype=np.int8))
+    result = OcstScheme(interval=500).simulate(trace)
+    assert result.penalty_cycles == 0
+    assert result.effective_clock_period == pytest.approx(trace.clock_period)
+
+
+def test_ocst_validation():
+    with pytest.raises(ValueError):
+        OcstScheme(interval=0)
+    with pytest.raises(ValueError):
+        OcstScheme(skew_step_fraction=0.0)
+
+
+def test_scheme_result_properties():
+    classes = np.array([ERR_SE_MAX, ERR_NONE], dtype=np.int8)
+    result = RazorScheme(PipelineConfig(depth=5)).simulate(
+        synthetic_error_trace(classes)
+    )
+    assert result.total_cycles == 2 + 5
+    assert result.execution_time_ps == pytest.approx(7 * 1000.0)

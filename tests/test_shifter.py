@@ -1,0 +1,113 @@
+"""Unit and property tests for the barrel shifters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.shifter import (
+    barrel_shift_left,
+    barrel_shift_right,
+    shift_amount_bits,
+)
+from repro.gates.builder import NetlistBuilder
+
+from tests.util import eval_word, int_to_bits
+
+WIDTH = 16
+MASK = (1 << WIDTH) - 1
+
+
+def _shift(mode, value, amount, left=False):
+    builder = NetlistBuilder()
+    word = builder.input_word("v", WIDTH)
+    stages = shift_amount_bits(WIDTH)
+    amt = builder.input_word("s", stages)
+    if left:
+        out = barrel_shift_left(builder, word, amt)
+    else:
+        out = barrel_shift_right(builder, word, amt, mode)
+    return eval_word(
+        builder, out, int_to_bits(value, WIDTH) + int_to_bits(amount, stages)
+    )
+
+
+def _ref_lsr(v, s):
+    return v >> s
+
+
+def _ref_asr(v, s):
+    sign = v >> (WIDTH - 1)
+    out = v >> s
+    if sign and s:
+        out |= (MASK << (WIDTH - s)) & MASK
+    return out
+
+
+def _ref_ror(v, s):
+    if s == 0:
+        return v
+    return ((v >> s) | (v << (WIDTH - s))) & MASK
+
+
+@settings(max_examples=80, deadline=None)
+@given(v=st.integers(0, MASK), s=st.integers(0, WIDTH - 1))
+def test_logical_right_shift(v, s):
+    assert _shift("logical", v, s) == _ref_lsr(v, s)
+
+
+@settings(max_examples=80, deadline=None)
+@given(v=st.integers(0, MASK), s=st.integers(0, WIDTH - 1))
+def test_arithmetic_right_shift(v, s):
+    assert _shift("arith", v, s) == _ref_asr(v, s)
+
+
+@settings(max_examples=80, deadline=None)
+@given(v=st.integers(0, MASK), s=st.integers(0, WIDTH - 1))
+def test_rotate_right(v, s):
+    assert _shift("rotate", v, s) == _ref_ror(v, s)
+
+
+@settings(max_examples=80, deadline=None)
+@given(v=st.integers(0, MASK), s=st.integers(0, WIDTH - 1))
+def test_left_shift(v, s):
+    assert _shift(None, v, s, left=True) == (v << s) & MASK
+
+
+def test_zero_shift_is_identity():
+    for mode in ("logical", "arith", "rotate"):
+        assert _shift(mode, 0xBEEF, 0) == 0xBEEF
+    assert _shift(None, 0xBEEF, 0, left=True) == 0xBEEF
+
+
+def test_rotate_is_a_permutation():
+    value = 0x8421
+    seen = {_shift("rotate", value, s) for s in range(WIDTH)}
+    # all rotations of a value have the same popcount
+    assert all(bin(v).count("1") == bin(value).count("1") for v in seen)
+
+
+def test_shift_amount_bits():
+    assert shift_amount_bits(16) == 4
+    assert shift_amount_bits(32) == 5
+    with pytest.raises(ValueError):
+        shift_amount_bits(12)
+    with pytest.raises(ValueError):
+        shift_amount_bits(1)
+
+
+def test_unknown_mode_rejected():
+    builder = NetlistBuilder()
+    word = builder.input_word("v", 4)
+    amt = builder.input_word("s", 2)
+    with pytest.raises(ValueError, match="unknown shift mode"):
+        barrel_shift_right(builder, word, amt, "bogus")
+
+
+def test_insufficient_amount_bits_rejected():
+    builder = NetlistBuilder()
+    word = builder.input_word("v", 16)
+    amt = builder.input_word("s", 2)
+    with pytest.raises(ValueError, match="shift-amount bits"):
+        barrel_shift_right(builder, word, amt, "logical")
+    with pytest.raises(ValueError, match="shift-amount bits"):
+        barrel_shift_left(builder, word, amt)

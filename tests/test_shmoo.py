@@ -1,0 +1,63 @@
+"""Tests for the shmoo / yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import shmoo_sweep
+from repro.arch.trace import BENCHMARKS, generate_trace
+
+
+@pytest.fixture(scope="module")
+def sweep(stage16_ntc):
+    trace = generate_trace(BENCHMARKS["gzip"], 600, width=16)
+    return shmoo_sweep(
+        stage16_ntc,
+        trace,
+        chip_seeds=range(6),
+        margins=np.array([0.0, 0.18, 0.4, 0.8, 1.5]),
+    )
+
+
+def test_shapes(sweep):
+    assert sweep.max_error_rates.shape == (6, 5)
+    assert sweep.error_rates.shape == (6, 5)
+    assert len(sweep.chip_seeds) == 6
+
+
+def test_max_error_rate_monotone_in_margin(sweep):
+    """More clock margin can only reduce setup violations."""
+    diffs = np.diff(sweep.max_error_rates, axis=1)
+    assert (diffs <= 1e-12).all()
+
+
+def test_yield_reaches_one_at_large_margin(sweep):
+    curve = sweep.yield_curve()
+    assert curve[-1] >= curve[0]
+    # setup violations must be gone at +150 % margin
+    assert (sweep.max_error_rates[:, -1] == 0).all()
+
+
+def test_chip_variation_is_visible(sweep):
+    """Different chips of the batch shmoo differently."""
+    at_nominal = sweep.error_rates[:, 1]  # the stage's own margin point
+    assert at_nominal.min() != at_nominal.max()
+
+
+def test_margin_for_yield(sweep):
+    margin = sweep.margin_for_yield(target=0.5)
+    assert margin is None or margin in sweep.margins
+    impossible = sweep.margin_for_yield(target=2.0)
+    assert impossible is None
+
+
+def test_render(sweep):
+    text = sweep.render()
+    assert "shmoo" in text
+    assert "yield" in text
+    assert "chip  0" in text or "chip0" in text.replace(" ", "")
+
+
+def test_empty_population_rejected(stage16_ntc):
+    trace = generate_trace(BENCHMARKS["gzip"], 50, width=16)
+    with pytest.raises(ValueError):
+        shmoo_sweep(stage16_ntc, trace, chip_seeds=())

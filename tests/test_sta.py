@@ -1,0 +1,87 @@
+"""Unit tests for static timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.gates.builder import NetlistBuilder
+from repro.timing.sta import (
+    arrival_times,
+    critical_path_delay,
+    output_arrivals,
+    shortest_path_delay,
+)
+
+
+@pytest.fixture()
+def reconvergent():
+    """a splits into a 3-gate branch and a 1-gate branch, both into an OR."""
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    slow = builder.buf(builder.buf(builder.buf(a)))
+    fast = builder.buf(a)
+    out = builder.or_(slow, fast)
+    builder.output("y", out)
+    netlist = builder.build()
+    delays = np.zeros(netlist.num_nodes)
+    for node in range(netlist.num_nodes):
+        if netlist.fanins(node):
+            delays[node] = 10.0
+    return netlist, delays, out
+
+
+def test_longest_arrival(reconvergent):
+    netlist, delays, out = reconvergent
+    arrivals = arrival_times(netlist, delays, "max")
+    assert arrivals[out] == pytest.approx(40.0)  # 3 bufs + or
+
+
+def test_shortest_arrival(reconvergent):
+    netlist, delays, out = reconvergent
+    arrivals = arrival_times(netlist, delays, "min")
+    assert arrivals[out] == pytest.approx(20.0)  # 1 buf + or
+
+
+def test_critical_and_shortest_path_delay(reconvergent):
+    netlist, delays, _ = reconvergent
+    assert critical_path_delay(netlist, delays) == pytest.approx(40.0)
+    assert shortest_path_delay(netlist, delays) == pytest.approx(20.0)
+
+
+def test_sources_arrive_at_zero(reconvergent):
+    netlist, delays, _ = reconvergent
+    for mode in ("max", "min"):
+        assert arrival_times(netlist, delays, mode)[0] == 0.0
+
+
+def test_output_arrivals_keyed_by_name(reconvergent):
+    netlist, delays, _ = reconvergent
+    by_name = output_arrivals(netlist, delays, "max")
+    assert by_name == {"y": pytest.approx(40.0)}
+
+
+def test_invalid_mode_rejected(reconvergent):
+    netlist, delays, _ = reconvergent
+    with pytest.raises(ValueError):
+        arrival_times(netlist, delays, "typ")
+
+
+def test_static_bounds_dynamic(alu8, alu8_circuit):
+    """Static max/min arrivals bound every dynamic sensitised delay."""
+    from repro.timing.dta import cycle_timings
+
+    rng = np.random.default_rng(30)
+    delays = np.where(
+        [bool(alu8.netlist.fanins(n)) for n in range(alu8.netlist.num_nodes)],
+        rng.uniform(2.0, 20.0, alu8.netlist.num_nodes),
+        0.0,
+    )
+    static_max = critical_path_delay(alu8.netlist, delays)
+    static_min = shortest_path_delay(alu8.netlist, delays)
+
+    ops = rng.integers(0, 13, size=40)
+    a = rng.integers(0, 256, size=40, dtype=np.uint64)
+    b = rng.integers(0, 256, size=40, dtype=np.uint64)
+    timings = cycle_timings(alu8_circuit, alu8.encode_batch(ops, a, b), delays)
+    assert (timings.t_late <= static_max + 1e-6).all()
+    finite = np.isfinite(timings.t_early)
+    assert (timings.t_early[finite] >= static_min - 1e-6).all()

@@ -1,0 +1,60 @@
+"""Unit tests for the Transition Detector and Counter."""
+
+import numpy as np
+import pytest
+
+from repro.core.trident.tdc import TransitionDetectorCounter
+from repro.timing.dta import ERR_CE, ERR_NONE, ERR_SE_MAX, ERR_SE_MIN
+
+
+@pytest.fixture()
+def tdc():
+    return TransitionDetectorCounter(clock_period=100.0, hold_constraint=10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TransitionDetectorCounter(0.0, 0.0)
+    with pytest.raises(ValueError):
+        TransitionDetectorCounter(100.0, 100.0)
+    with pytest.raises(ValueError):
+        TransitionDetectorCounter(100.0, -5.0)
+
+
+def test_illegal_transition_counts(tdc):
+    t_late = np.array([50.0, 120.0, 50.0, 120.0])
+    t_early = np.array([40.0, 40.0, 5.0, 5.0])
+    counts = tdc.count_illegal(t_late, t_early)
+    assert counts.tolist() == [0, 1, 1, 2]
+
+
+def test_classification_matches_fig_4_6(tdc):
+    """One early illegal transition -> SE(Min); one late -> SE(Max); a
+    late followed by an early within the cycle -> CE."""
+    t_late = np.array([50.0, 50.0, 120.0, 120.0])
+    t_early = np.array([40.0, 5.0, 40.0, 5.0])
+    classes = tdc.classify(t_late, t_early)
+    assert classes.tolist() == [ERR_NONE, ERR_SE_MIN, ERR_SE_MAX, ERR_CE]
+
+
+def test_classification_agrees_with_cycle_timings(error_trace16):
+    tdc = TransitionDetectorCounter(
+        error_trace16.clock_period, error_trace16.hold_constraint
+    )
+    classes = tdc.classify(error_trace16.t_late, error_trace16.t_early)
+    assert (classes == error_trace16.err_class).all()
+
+
+def test_stall_cycles_for_classes():
+    assert TransitionDetectorCounter.stall_cycles_for(ERR_NONE) == 0
+    assert TransitionDetectorCounter.stall_cycles_for(ERR_SE_MIN) == 1
+    assert TransitionDetectorCounter.stall_cycles_for(ERR_SE_MAX) == 1
+    assert TransitionDetectorCounter.stall_cycles_for(ERR_CE) == 2
+    with pytest.raises(ValueError):
+        TransitionDetectorCounter.stall_cycles_for(7)
+
+
+def test_no_transition_cycles_are_legal(tdc):
+    # t_late = 0 and t_early = +inf encode "no output transition"
+    counts = tdc.count_illegal(np.array([0.0]), np.array([np.inf]))
+    assert counts.tolist() == [0]

@@ -1,0 +1,89 @@
+"""Unit tests for the text timing-report utility."""
+
+import numpy as np
+import pytest
+
+from repro.gates.builder import NetlistBuilder
+from repro.timing.report import timing_report
+
+
+def _reportable():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    b = builder.input("b")
+    slow = builder.buf(builder.buf(builder.buf(a)))
+    fast = builder.buf(b)
+    builder.output("slow_out", builder.and_(slow, fast))
+    builder.output("fast_out", builder.buf(b))
+    netlist = builder.build()
+    delays = np.zeros(netlist.num_nodes)
+    for node in range(netlist.num_nodes):
+        if netlist.fanins(node):
+            delays[node] = 10.0
+    return netlist, delays
+
+
+def test_report_contains_endpoints_and_summary():
+    netlist, delays = _reportable()
+    text = timing_report(netlist, delays, clock_period=100.0)
+    assert "slow_out" in text
+    assert "Summary:" in text
+    assert "MET" in text
+    assert "worst arrival 40.0" in text
+
+
+def test_violation_flagged():
+    netlist, delays = _reportable()
+    text = timing_report(netlist, delays, clock_period=30.0)
+    assert "VIOLATED" in text
+    assert "1/" in text or "2/" in text  # violating endpoints counted
+
+
+def test_num_paths_limits_endpoints():
+    netlist, delays = _reportable()
+    text = timing_report(netlist, delays, clock_period=100.0, num_paths=1)
+    assert "slow_out" in text
+    assert "fast_out" not in text
+
+
+def test_choke_annotation_with_nominal_reference():
+    netlist, nominal = _reportable()
+    delays = nominal.copy()
+    # make one gate on the slow path a 5x choke
+    choke_node = 4  # a BUF on the slow branch
+    delays[choke_node] = 50.0
+    text = timing_report(
+        netlist, delays, clock_period=200.0, nominal_delays=nominal
+    )
+    assert "choke gate" in text
+    assert "5.0x nominal" in text
+
+
+def test_fast_gate_annotation():
+    netlist, nominal = _reportable()
+    delays = nominal.copy()
+    delays[4] = 2.0
+    text = timing_report(
+        netlist, delays, clock_period=200.0, nominal_delays=nominal
+    )
+    assert "fast gate" in text
+
+
+def test_validation():
+    netlist, delays = _reportable()
+    with pytest.raises(ValueError):
+        timing_report(netlist, delays, clock_period=0.0)
+    with pytest.raises(ValueError):
+        timing_report(netlist, delays, clock_period=10.0, num_paths=0)
+
+
+def test_report_on_fabricated_ex_stage(stage16_ntc, chip16):
+    text = timing_report(
+        stage16_ntc.netlist,
+        chip16.delays,
+        clock_period=stage16_ntc.clock_period,
+        num_paths=2,
+        nominal_delays=chip16.nominal_delays,
+    )
+    assert "Timing report" in text
+    assert "result[" in text

@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic benchmark trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import INSTRUCTIONS, Instr
+from repro.arch.trace import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkConfig,
+    generate_trace,
+)
+from repro.circuits.alu import AluOp
+
+
+def test_all_six_benchmarks_defined():
+    assert set(BENCHMARK_ORDER) == set(BENCHMARKS)
+    assert BENCHMARK_ORDER == ("bzip", "gap", "gzip", "mcf", "parser", "vortex")
+
+
+def test_deterministic_for_config():
+    a = generate_trace(BENCHMARKS["mcf"], 500, width=16)
+    b = generate_trace(BENCHMARKS["mcf"], 500, width=16)
+    assert (a.instrs == b.instrs).all()
+    assert (a.a_values == b.a_values).all()
+    assert (a.b_values == b.b_values).all()
+
+
+def test_seed_override_changes_stream():
+    a = generate_trace(BENCHMARKS["mcf"], 500, width=16)
+    b = generate_trace(BENCHMARKS["mcf"], 500, width=16, seed=999)
+    assert not (a.a_values == b.a_values).all()
+
+
+def test_trace_shape_and_dtypes():
+    trace = generate_trace(BENCHMARKS["gzip"], 300, width=16)
+    assert len(trace) == 300
+    assert trace.instrs.dtype == np.int16
+    assert trace.a_values.dtype == np.uint64
+    assert trace.width == 16
+    assert trace.name == "gzip"
+
+
+def test_operands_within_width():
+    trace = generate_trace(BENCHMARKS["parser"], 800, width=16)
+    assert (trace.a_values < (1 << 16)).all()
+    assert (trace.b_values < (1 << 16)).all()
+
+
+def test_alu_ops_match_isa_mapping():
+    trace = generate_trace(BENCHMARKS["bzip"], 500, width=16)
+    for instr_value, alu_value in zip(trace.instrs, trace.alu_ops):
+        assert INSTRUCTIONS[Instr(int(instr_value))].alu_op == AluOp(int(alu_value))
+
+
+def test_only_mix_instructions_appear():
+    config = BENCHMARKS["mcf"]
+    trace = generate_trace(config, 1000, width=16)
+    allowed = {int(i) for i in config.instr_mix}
+    assert set(np.unique(trace.instrs).tolist()) <= allowed
+
+
+def test_shift_operands_bounded():
+    trace = generate_trace(BENCHMARKS["gzip"], 2000, width=16)
+    shift_instrs = {
+        int(i) for i in Instr if INSTRUCTIONS[i].shift
+    }
+    mask = np.isin(trace.instrs, list(shift_instrs))
+    assert (trace.b_values[mask] < 16).all()
+
+
+def test_lui_shift_amount_is_half_width():
+    trace = generate_trace(BENCHMARKS["mcf"], 3000, width=16)
+    mask = trace.instrs == int(Instr.LUI)
+    if mask.any():
+        assert (trace.b_values[mask] == 8).all()
+
+
+def test_immediates_in_lower_half_word():
+    trace = generate_trace(BENCHMARKS["parser"], 3000, width=16)
+    imm_instrs = {int(i) for i in Instr if INSTRUCTIONS[i].immediate and not INSTRUCTIONS[i].shift}
+    mask = np.isin(trace.instrs, list(imm_instrs))
+    if mask.any():
+        assert (trace.b_values[mask] < (1 << 8)).all()
+
+
+def test_static_footprints_ordered_mcf_smallest_vortex_largest():
+    mcf = generate_trace(BENCHMARKS["mcf"], 100, width=16)
+    vortex = generate_trace(BENCHMARKS["vortex"], 100, width=16)
+    assert mcf.num_static < vortex.num_static
+
+
+def test_value_locality_reuses_pool_values():
+    trace = generate_trace(BENCHMARKS["mcf"], 4000, width=16)
+    # strong locality -> the distinct (static, operand) pairs per static
+    # instruction stay near the pool size
+    per_static: dict[int, set] = {}
+    for static_id, value in zip(trace.static_ids, trace.a_values):
+        per_static.setdefault(int(static_id), set()).add(int(value))
+    heavy = [s for s, values in per_static.items() if len(values) > 0]
+    median_distinct = float(np.median([len(per_static[s]) for s in heavy]))
+    pool = BENCHMARKS["mcf"].value_pool_size
+    assert median_distinct <= pool + 3
+
+
+def test_sequence_locality_repeats_pairs():
+    trace = generate_trace(BENCHMARKS["mcf"], 4000, width=16)
+    pairs = set(zip(trace.static_ids[:-1].tolist(), trace.static_ids[1:].tolist()))
+    # loops mean far fewer distinct consecutive pairs than cycles
+    assert len(pairs) < len(trace) / 8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BenchmarkConfig(
+            name="bad", instr_mix={}, num_blocks=2, block_size_min=1,
+            block_size_max=2, block_repeat_mean=2.0, value_pool_size=2,
+            value_locality=0.5, p_large=0.5, seed=0,
+        )
+    with pytest.raises(ValueError):
+        BenchmarkConfig(
+            name="bad", instr_mix={Instr.OR: 1}, num_blocks=2, block_size_min=3,
+            block_size_max=2, block_repeat_mean=2.0, value_pool_size=2,
+            value_locality=0.5, p_large=0.5, seed=0,
+        )
+    with pytest.raises(ValueError):
+        BenchmarkConfig(
+            name="bad", instr_mix={Instr.OR: 1}, num_blocks=2, block_size_min=1,
+            block_size_max=2, block_repeat_mean=2.0, value_pool_size=2,
+            value_locality=1.5, p_large=0.5, seed=0,
+        )
+
+
+def test_zero_cycles_rejected():
+    with pytest.raises(ValueError):
+        generate_trace(BENCHMARKS["mcf"], 0)
+
+
+def test_encode_inputs_roundtrip(alu16, mcf_trace16):
+    matrix = mcf_trace16.encode_inputs(alu16)
+    assert matrix.shape == (alu16.num_inputs, len(mcf_trace16))

@@ -1,0 +1,83 @@
+"""Unit tests for netlist structural validation."""
+
+import pytest
+
+from repro.gates.builder import NetlistBuilder
+from repro.gates.celllib import GateKind
+from repro.gates.netlist import Netlist
+from repro.gates.validate import NetlistValidationError, validate_netlist
+
+
+def _valid_netlist():
+    builder = NetlistBuilder()
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.and_(a, b))
+    return builder.build()
+
+
+def test_valid_netlist_passes():
+    report = validate_netlist(_valid_netlist())
+    assert report.num_gates == 1
+    assert report.num_inputs == 2
+    assert report.num_outputs == 1
+    assert report.logic_depth == 1
+    assert not report.dead_node_ids
+    assert report.ok
+
+
+def test_empty_netlist_rejected():
+    with pytest.raises(NetlistValidationError, match="empty"):
+        validate_netlist(Netlist())
+
+
+def test_no_outputs_rejected():
+    netlist = Netlist()
+    netlist.add(GateKind.INPUT, ())
+    with pytest.raises(NetlistValidationError, match="no primary outputs"):
+        validate_netlist(netlist)
+
+
+def test_constant_only_outputs_rejected():
+    netlist = Netlist()
+    c = netlist.add(GateKind.CONST1, ())
+    netlist.mark_output("y", c)
+    with pytest.raises(NetlistValidationError, match="constants"):
+        validate_netlist(netlist)
+
+
+def test_dead_logic_reported():
+    builder = NetlistBuilder()
+    a, b = builder.input("a"), builder.input("b")
+    builder.or_(a, b)  # dead gate
+    builder.output("y", builder.and_(a, b))
+    report = validate_netlist(builder.build())
+    assert len(report.dead_node_ids) == 1
+
+
+def test_dead_logic_rejected_when_strict():
+    builder = NetlistBuilder()
+    a, b = builder.input("a"), builder.input("b")
+    builder.or_(a, b)
+    builder.output("y", builder.and_(a, b))
+    with pytest.raises(NetlistValidationError, match="dead gates"):
+        validate_netlist(builder.build(), allow_dead_logic=False)
+
+
+def test_unused_inputs_are_not_dead_gates():
+    builder = NetlistBuilder()
+    a = builder.input("a")
+    builder.input("unused")
+    builder.output("y", builder.buf(a))
+    report = validate_netlist(builder.build(), allow_dead_logic=False)
+    assert not report.dead_node_ids
+
+
+def test_alu_validates(alu16):
+    report = validate_netlist(alu16.netlist)
+    assert report.num_outputs == 16
+    assert report.logic_depth > 10
+
+
+def test_ex_stage_validates(stage16_ntc):
+    report = validate_netlist(stage16_ntc.netlist)
+    assert report.num_outputs == 16

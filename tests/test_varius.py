@@ -1,0 +1,92 @@
+"""Unit tests for the VARIUS-style variation model."""
+
+import numpy as np
+import pytest
+
+from repro.pv.varius import (
+    DEFAULT_PARAMS,
+    VariusParams,
+    place_on_grid,
+    sample_delta_vth,
+    spherical_correlation,
+    systematic_field,
+)
+
+
+def test_params_sigma_total():
+    params = VariusParams(sigma_systematic=0.03, sigma_random=0.04)
+    assert params.sigma_total == pytest.approx(0.05)
+
+
+def test_spherical_correlation_boundaries():
+    assert spherical_correlation(np.array([0.0]), 0.5)[0] == pytest.approx(1.0)
+    assert spherical_correlation(np.array([0.5]), 0.5)[0] == pytest.approx(0.0)
+    assert spherical_correlation(np.array([2.0]), 0.5)[0] == 0.0
+
+
+def test_spherical_correlation_monotone_decreasing():
+    distances = np.linspace(0, 0.5, 20)
+    rho = spherical_correlation(distances, 0.5)
+    assert (np.diff(rho) <= 1e-12).all()
+
+
+def test_systematic_field_statistics():
+    rng = np.random.default_rng(0)
+    sigma = 0.02
+    fields = [systematic_field(16, 0.5, sigma, rng) for _ in range(40)]
+    samples = np.concatenate([f.ravel() for f in fields])
+    assert abs(samples.mean()) < 0.002
+    assert samples.std() == pytest.approx(sigma, rel=0.15)
+
+
+def test_systematic_field_is_spatially_correlated():
+    rng = np.random.default_rng(1)
+    corr_neighbor = []
+    corr_far = []
+    for _ in range(30):
+        field = systematic_field(16, 0.5, 0.02, rng)
+        corr_neighbor.append(np.corrcoef(field[:, 0], field[:, 1])[0, 1])
+        corr_far.append(np.corrcoef(field[:, 0], field[:, 15])[0, 1])
+    assert np.mean(corr_neighbor) > 0.5
+    assert np.mean(corr_neighbor) > np.mean(corr_far) + 0.2
+
+
+def test_zero_sigma_field_is_zero():
+    rng = np.random.default_rng(2)
+    field = systematic_field(8, 0.5, 0.0, rng)
+    assert (field == 0).all()
+
+
+def test_field_validation():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        systematic_field(0, 0.5, 0.01, rng)
+    with pytest.raises(ValueError):
+        systematic_field(8, 0.5, -0.01, rng)
+
+
+def test_place_on_grid_covers_in_order():
+    rows, cols = place_on_grid(100, 8)
+    assert len(rows) == 100
+    positions = rows * 8 + cols
+    assert (np.diff(positions) >= 0).all()
+    assert positions[0] == 0
+    assert positions[-1] <= 63
+
+
+def test_place_more_nodes_than_cells():
+    rows, cols = place_on_grid(1000, 4)
+    assert rows.max() == 3 and cols.max() == 3
+
+
+def test_sample_delta_vth_shape_and_spread():
+    rng = np.random.default_rng(4)
+    samples = sample_delta_vth(5000, DEFAULT_PARAMS, rng)
+    assert samples.shape == (5000,)
+    assert samples.std() == pytest.approx(DEFAULT_PARAMS.sigma_total, rel=0.35)
+
+
+def test_sample_deterministic_for_seed():
+    a = sample_delta_vth(100, DEFAULT_PARAMS, np.random.default_rng(5))
+    b = sample_delta_vth(100, DEFAULT_PARAMS, np.random.default_rng(5))
+    assert (a == b).all()
