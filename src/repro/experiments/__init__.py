@@ -10,7 +10,13 @@ figure's rows.
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.report import ExperimentResult, Table
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    get_title,
+    run_experiment,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -20,6 +26,8 @@ __all__ = [
     "ExperimentResult",
     "FAST_CONFIG",
     "Table",
+    "experiment_ids",
     "get_experiment",
+    "get_title",
     "run_experiment",
 ]

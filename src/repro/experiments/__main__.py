@@ -1,25 +1,41 @@
 """Command-line entry point: regenerate any (or all) paper figures.
 
+Runs are supervised by :mod:`repro.runtime`: an exception in one
+experiment is contained as a failure record while the remaining
+experiments still run, a pass/fail summary prints at the end, and the
+exit code is non-zero only if something failed.  With
+``--checkpoint-dir`` the expensive artefacts (fabricated chips, error
+traces) persist across invocations, so an interrupted ``all`` run
+resumes in seconds.
+
 Examples::
 
     python -m repro.experiments fig3_10
     python -m repro.experiments all --cycles 50000
     python -m repro.experiments fig4_8 fig4_9 --fast --out results.txt
+    python -m repro.experiments all --fast --checkpoint-dir .ckpt --retries 1
+    python -m repro.experiments all --fast --chaos-fail fig3_9   # self-test
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
+import tempfile
 from dataclasses import replace
 
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentContext
+from repro.runtime import CheckpointStore, RunOutcome, configure_logging, run_many
+from repro.runtime.chaos import chaos_resolve
+from repro.runtime.log import get_logger
+
+logger = get_logger("cli")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -43,29 +59,129 @@ def main(argv: list[str] | None = None) -> int:
         default="text",
         help="output format for --out (stdout always prints text)",
     )
-    args = parser.parse_args(argv)
+    runtime = parser.add_argument_group("resilient runtime")
+    runtime.add_argument(
+        "--checkpoint-dir",
+        help="persist chips/error traces here and resume from previous runs",
+    )
+    runtime.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing checkpoints (recompute, but still refresh the store)",
+    )
+    runtime.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run a failed experiment up to N extra times",
+    )
+    runtime.add_argument(
+        "--timeout-s",
+        type=float,
+        metavar="S",
+        help="per-experiment wall-clock budget; overruns become timeout failures",
+    )
+    runtime.add_argument(
+        "--chaos-fail",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="self-test: inject a failure into this experiment (repeatable)",
+    )
+    runtime.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="runtime logging (-v info, -vv debug)",
+    )
+    return parser
 
+
+def _atomic_write_text(path: str, payload: str) -> None:
+    """Write via a temp file in the target directory + ``os.replace``.
+
+    An interrupted run can therefore never leave a truncated report: the
+    previous file (if any) survives intact until the new one is complete.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".report-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose)
+
+    # `is not None` so an explicit 0 reaches ExperimentConfig validation
+    # instead of being silently ignored.
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
-    if args.cycles:
-        config = replace(config, cycles=args.cycles)
-    if args.width:
-        config = replace(config, width=args.width)
+    try:
+        if args.cycles is not None:
+            config = replace(config, cycles=args.cycles)
+        if args.width is not None:
+            config = replace(config, width=args.width)
+    except ValueError as exc:
+        parser.error(f"invalid configuration: {exc}")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout_s is not None and args.timeout_s <= 0:
+        parser.error("--timeout-s must be positive")
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for experiment_id in ids:
         if experiment_id not in EXPERIMENTS:
             parser.error(f"unknown experiment {experiment_id!r}")
+    for experiment_id in args.chaos_fail:
+        if experiment_id not in EXPERIMENTS:
+            parser.error(f"unknown --chaos-fail experiment {experiment_id!r}")
 
-    ctx = ExperimentContext(config)
-    results = []
-    for experiment_id in ids:
-        start = time.time()
-        result = get_experiment(experiment_id)(ctx)
-        results.append(result)
-        print(result.to_text())
-        print(f"[{experiment_id} completed in {time.time() - start:.1f}s]\n")
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir, resume=not args.no_resume)
+        logger.info(
+            "checkpoint store at %s (%d entries, resume=%s)",
+            store.root, len(store), store.resume,
+        )
+    ctx = ExperimentContext(config, store=store)
 
+    resolve = get_experiment
+    if args.chaos_fail:
+        resolve = chaos_resolve(set(args.chaos_fail), get_experiment)
+
+    def report_outcome(outcome: RunOutcome) -> None:
+        if outcome.result is not None:
+            print(outcome.result.to_text())
+            print(f"[{outcome.experiment_id} completed in {outcome.elapsed_s:.1f}s]\n")
+        else:
+            assert outcome.failure is not None
+            print(
+                f"[{outcome.experiment_id} FAILED after {outcome.elapsed_s:.1f}s "
+                f"({outcome.failure.kind}): {outcome.failure.error_type}: "
+                f"{outcome.failure.message}]\n"
+            )
+
+    report = run_many(
+        ids, ctx,
+        retries=args.retries,
+        timeout_s=args.timeout_s,
+        resolve=resolve,
+        on_outcome=report_outcome,
+    )
+
+    report_write_failed = False
     if args.out:
+        results = report.results
         if args.format == "json":
             import json
 
@@ -74,10 +190,29 @@ def main(argv: list[str] | None = None) -> int:
             payload = "".join(r.to_csv() for r in results)
         else:
             payload = "\n\n".join(r.to_text() for r in results) + "\n"
-        with open(args.out, "w") as handle:
-            handle.write(payload)
-        print(f"report written to {args.out}")
-    return 0
+            if report.failures:
+                payload += "\n" + report.summary_text() + "\n"
+        try:
+            _atomic_write_text(args.out, payload)
+        except OSError as exc:
+            report_write_failed = True
+            logger.error("could not write report to %s: %s", args.out, exc)
+            print(f"[report NOT written to {args.out}: {exc}]")
+        else:
+            print(f"report written to {args.out}")
+
+    print(report.summary_text())
+    if store is not None:
+        stats = store.stats
+        print(
+            f"[checkpoints: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stored, {stats.corrupt} corrupt]"
+        )
+    for failure in report.failures:
+        logger.debug("traceback for %s:\n%s", failure.experiment_id, failure.traceback)
+    if report_write_failed:
+        return 1
+    return report.exit_code()
 
 
 if __name__ == "__main__":

@@ -40,6 +40,8 @@ class ExperimentConfig:
     chunk: int = 2048
 
     def __post_init__(self) -> None:
+        if self.width < 4 or self.width & (self.width - 1):
+            raise ValueError(f"width must be a power of two >= 4, got {self.width}")
         if self.cycles < 100:
             raise ValueError("cycles must be at least 100")
         if not self.benchmarks:

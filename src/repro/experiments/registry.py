@@ -62,6 +62,19 @@ def get_experiment(experiment_id: str):
     return EXPERIMENTS[experiment_id][0]
 
 
+def get_title(experiment_id: str) -> str:
+    """The human-readable title for one experiment id."""
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[experiment_id][1]
+
+
+def experiment_ids() -> list[str]:
+    """All registered ids in registration (paper) order."""
+    return list(EXPERIMENTS)
+
+
 def run_experiment(
     experiment_id: str, ctx: ExperimentContext | None = None
 ) -> ExperimentResult:

@@ -4,6 +4,15 @@ Figures within a chapter share the same stage / chip / benchmark timing
 runs; the context memoises them so regenerating all seventeen
 experiments costs one dynamic-timing pass per (chip, benchmark) rather
 than seventeen.
+
+With an optional :class:`~repro.runtime.checkpoint.CheckpointStore`,
+the two expensive artefact classes — fabricated chips and error traces
+— additionally persist to disk, keyed by a fingerprint of the full
+configuration plus (seed, corner, benchmark, ...), so an interrupted
+``all`` run resumes in seconds instead of recomputing from scratch.
+The memo dicts stay as the first-level cache; the store is consulted
+only on a memo miss, and corrupt entries silently fall back to
+recomputation (see the checkpoint module's failure philosophy).
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from repro.core.scheme_sim import ErrorTrace, build_error_trace
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.pv.chip import ChipSample, fabricate_chip
 from repro.pv.delaymodel import NTC, STC, Corner
+from repro.runtime.checkpoint import CheckpointStore, artefact_key
 from repro.timing.levelize import LevelizedCircuit, levelize
 
 _CORNERS = {"STC": STC, "NTC": NTC}
@@ -23,8 +33,13 @@ _CORNERS = {"STC": STC, "NTC": NTC}
 class ExperimentContext:
     """Memoised factory for stages, chips, traces, and error traces."""
 
-    def __init__(self, config: ExperimentConfig = DEFAULT_CONFIG) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig = DEFAULT_CONFIG,
+        store: CheckpointStore | None = None,
+    ) -> None:
         self.config = config
+        self.store = store
         self._stages: dict[tuple, ExStage] = {}
         self._alus: dict[tuple, tuple[Alu, LevelizedCircuit]] = {}
         self._chips: dict[tuple, ChipSample] = {}
@@ -34,6 +49,14 @@ class ExperimentContext:
         self.memo: dict = {}
 
     # ------------------------------------------------------------------
+    def _checkpointed(self, kind: str, parts: tuple, compute):
+        """Compute via the store when one is attached, else directly."""
+        if self.store is None:
+            return compute()
+        return self.store.fetch(
+            artefact_key(kind, self.config, *parts), compute
+        )
+
     def corner(self, name: str) -> Corner:
         return _CORNERS[name]
 
@@ -59,7 +82,9 @@ class ExperimentContext:
         key = ("stage", seed, corner, buffered, self.config.width)
         if key not in self._chips:
             stage = self.stage(corner, buffered)
-            self._chips[key] = stage.fabricate(seed=seed)
+            self._chips[key] = self._checkpointed(
+                "chip", key, lambda: stage.fabricate(seed=seed)
+            )
         return self._chips[key]
 
     def alu_chip(self, seed: int, corner: str) -> ChipSample:
@@ -67,7 +92,10 @@ class ExperimentContext:
         key = ("alu", seed, corner, self.config.width)
         if key not in self._chips:
             alu, _ = self.bare_alu(corner)
-            self._chips[key] = fabricate_chip(alu.netlist, self.corner(corner), seed)
+            self._chips[key] = self._checkpointed(
+                "chip", key,
+                lambda: fabricate_chip(alu.netlist, self.corner(corner), seed),
+            )
         return self._chips[key]
 
     def trace(self, benchmark: str) -> InstructionTrace:
@@ -87,11 +115,14 @@ class ExperimentContext:
     ) -> ErrorTrace:
         key = (benchmark, chip_seed, corner, buffered, self.config.cycles, self.config.width)
         if key not in self._error_traces:
-            stage = self.stage(corner, buffered)
-            chip = self.chip(chip_seed, corner, buffered)
-            self._error_traces[key] = build_error_trace(
-                stage, chip, self.trace(benchmark), chunk=self.config.chunk
-            )
+            def compute() -> ErrorTrace:
+                stage = self.stage(corner, buffered)
+                chip = self.chip(chip_seed, corner, buffered)
+                return build_error_trace(
+                    stage, chip, self.trace(benchmark), chunk=self.config.chunk
+                )
+
+            self._error_traces[key] = self._checkpointed("etrace", key, compute)
         return self._error_traces[key]
 
     # convenience accessors for the two reference chips ------------------

@@ -1,0 +1,45 @@
+"""Resilient experiment runtime: supervision, checkpointing, chaos.
+
+The runtime applies the paper's detect/contain/replay philosophy to the
+reproduction harness itself:
+
+* :mod:`repro.runtime.executor` — fault-isolated supervised runs; one
+  crashing experiment never aborts the batch.
+* :mod:`repro.runtime.checkpoint` — checksum-verified on-disk store for
+  expensive artefacts (chips, error traces) enabling checkpoint/resume.
+* :mod:`repro.runtime.chaos` — deliberate fault injection so tests can
+  prove the two layers above degrade gracefully.
+* :mod:`repro.runtime.log` — shared structured logging.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    StoreStats,
+    artefact_key,
+    config_fingerprint,
+)
+from repro.runtime.executor import (
+    ExperimentTimeout,
+    FailureRecord,
+    RunOutcome,
+    RunReport,
+    run_many,
+    run_supervised,
+)
+from repro.runtime.log import configure as configure_logging
+from repro.runtime.log import get_logger
+
+__all__ = [
+    "CheckpointStore",
+    "ExperimentTimeout",
+    "FailureRecord",
+    "RunOutcome",
+    "RunReport",
+    "StoreStats",
+    "artefact_key",
+    "config_fingerprint",
+    "configure_logging",
+    "get_logger",
+    "run_many",
+    "run_supervised",
+]

@@ -1,0 +1,182 @@
+"""Content-addressed, checksum-verified checkpoint store.
+
+The expensive artefacts of an experiment run — fabricated chips and
+dynamic-timing error traces — are pure functions of the experiment
+configuration plus a small key (seed, corner, benchmark, ...).  The
+store persists them under a fingerprint of exactly those inputs, so an
+interrupted ``all`` run resumes in seconds and a changed configuration
+can never alias a stale artefact.
+
+Failure philosophy (the paper's own): detect, contain, replay.  A load
+NEVER raises on bad data — truncated files, flipped bits, foreign
+pickles, and format-version mismatches are all detected (magic header +
+SHA-256 payload checksum), logged, counted in :class:`StoreStats`, and
+reported as a miss so the caller transparently recomputes.  Writes are
+atomic (temp file in the same directory + ``os.replace``), so a crash
+mid-write leaves the previous entry — or no entry — but never a torn
+one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.log import get_logger
+
+logger = get_logger("checkpoint")
+
+#: bump when the on-disk layout or artefact pickle schema changes;
+#: entries with any other version are treated as misses, not errors.
+FORMAT_VERSION = 1
+
+_MAGIC = b"REPRO-CKPT"
+_SUFFIX = ".ckpt"
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable hex fingerprint of an experiment configuration.
+
+    Dataclasses are serialised field-by-field so the fingerprint changes
+    whenever any knob (width, cycles, seeds, benchmark set, ...) does.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload: Any = dataclasses.asdict(config)
+    else:
+        payload = config
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def artefact_key(kind: str, config: Any, *parts: Any) -> str:
+    """Filename-safe store key: ``<kind>-<hash(config, parts)>``."""
+    digest = hashlib.sha256(
+        json.dumps([config_fingerprint(config), *map(repr, parts)]).encode()
+    ).hexdigest()[:24]
+    return f"{kind}-{digest}"
+
+
+@dataclass
+class StoreStats:
+    """Observable health of one store (asserted on by the chaos tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    write_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class CheckpointStore:
+    """On-disk artefact cache keyed by :func:`artefact_key`.
+
+    With ``resume=False`` every load reports a miss (forcing
+    recomputation) but saves still happen, refreshing the store — the
+    semantics of the CLI's ``--no-resume``.
+    """
+
+    root: Path
+    resume: bool = True
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*{_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, obj: Any) -> bool:
+        """Atomically persist ``obj``; returns False (and logs) on failure.
+
+        A failed save is never fatal — the run simply loses resumability
+        for this artefact.
+        """
+        try:
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            header = b"%s v%d %s\n" % (
+                _MAGIC,
+                FORMAT_VERSION,
+                hashlib.sha256(payload).hexdigest().encode(),
+            )
+            self._atomic_write(self.path(key), header + payload)
+        except Exception:
+            self.stats.write_errors += 1
+            logger.warning("checkpoint save failed for %s", key, exc_info=True)
+            return False
+        self.stats.stores += 1
+        logger.debug("stored %s (%d bytes)", key, len(payload))
+        return True
+
+    def load(self, key: str) -> Any | None:
+        """The stored artefact, or None on miss/corruption (never raises)."""
+        path = self.path(key)
+        if not self.resume or not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            blob = path.read_bytes()
+            header, _, payload = blob.partition(b"\n")
+            magic, version, checksum = header.split(b" ")
+            if magic != _MAGIC:
+                raise ValueError("bad magic")
+            if version != b"v%d" % FORMAT_VERSION:
+                logger.info(
+                    "checkpoint %s has format %s (want v%d); recomputing",
+                    key, version.decode("ascii", "replace"), FORMAT_VERSION,
+                )
+                self.stats.misses += 1
+                return None
+            if hashlib.sha256(payload).hexdigest().encode() != checksum:
+                raise ValueError("checksum mismatch")
+            obj = pickle.loads(payload)
+        except Exception as exc:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            logger.warning("corrupt checkpoint %s (%s); recomputing", key, exc)
+            return None
+        self.stats.hits += 1
+        logger.debug("hit %s", key)
+        return obj
+
+    def fetch(self, key: str, compute, *args, **kwargs) -> Any:
+        """Load ``key`` or compute-and-save it (the one-stop accessor)."""
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        obj = compute(*args, **kwargs)
+        self.save(key, obj)
+        return obj
+
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

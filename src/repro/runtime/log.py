@@ -1,0 +1,53 @@
+"""Structured logging for the resilient experiment runtime.
+
+All runtime modules log under the ``repro.runtime`` namespace so a
+single :func:`configure` call (or any stdlib ``logging`` setup an
+embedding application already has) controls executor, checkpoint, and
+CLI output together.  Library code never configures handlers on import:
+until :func:`configure` runs, messages propagate to whatever the host
+process set up, which is the stdlib-recommended behaviour.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+ROOT_LOGGER = "repro.runtime"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+#: handler installed by :func:`configure`, kept so repeat calls replace
+#: rather than stack handlers (pytest re-imports, repeated CLI mains).
+_installed_handler: logging.Handler | None = None
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """A logger in the runtime namespace (``repro.runtime[.child]``)."""
+    name = f"{ROOT_LOGGER}.{child}" if child else ROOT_LOGGER
+    return logging.getLogger(name)
+
+
+def configure(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logger:
+    """Install a stream handler on the runtime root logger.
+
+    ``verbosity`` 0 logs warnings and errors only (quiet by default so
+    figure output stays readable), 1 adds INFO (one line per supervised
+    run / checkpoint event), 2 adds DEBUG (fingerprints, byte counts).
+    Idempotent: calling again replaces the previous handler, so tests
+    and repeated ``main()`` invocations never double-log.
+    """
+    global _installed_handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _installed_handler is not None:
+        logger.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    logger.addHandler(handler)
+    logger.propagate = False
+    level = {0: logging.WARNING, 1: logging.INFO}.get(verbosity, logging.DEBUG)
+    logger.setLevel(level)
+    _installed_handler = handler
+    return logger

@@ -121,3 +121,60 @@ def test_levelize_rejects_nothing_but_empty_netlists_work():
     netlist.add(GateKind.INPUT, (), name="a")
     circuit = levelize(netlist)
     assert circuit.depth == 0
+
+
+# ----------------------------------------------------------------------
+# runtime chaos harness: the resilience layer under deliberate faults
+# ----------------------------------------------------------------------
+
+def test_corrupt_checkpoint_load_falls_back_to_recompute(tmp_path):
+    """A damaged on-disk artefact must mean recomputation, not a crash."""
+    from repro.runtime import CheckpointStore
+    from repro.runtime.chaos import corrupt_entry
+
+    store = CheckpointStore(tmp_path)
+    store.save("etrace-deadbeef", np.arange(32))
+    corrupt_entry(store, "etrace-deadbeef", mode="flip")
+    assert store.load("etrace-deadbeef") is None
+    assert store.stats.corrupt == 1
+    recomputed = store.fetch("etrace-deadbeef", lambda: np.arange(32))
+    assert (recomputed == np.arange(32)).all()
+
+
+def test_injected_exception_isolated_from_siblings():
+    """One errant experiment yields a FailureRecord; siblings still run."""
+    from repro.experiments import FAST_CONFIG, ExperimentContext
+    from repro.experiments.report import ExperimentResult
+    from repro.runtime import run_many
+    from repro.runtime.chaos import failing_run
+
+    bodies = {
+        "healthy_a": lambda ctx: ExperimentResult("healthy_a", "t"),
+        "errant": failing_run("mid-experiment fault"),
+        "healthy_b": lambda ctx: ExperimentResult("healthy_b", "t"),
+    }
+    report = run_many(
+        list(bodies), ExperimentContext(FAST_CONFIG), resolve=bodies.__getitem__
+    )
+    assert [o.ok for o in report.outcomes] == [True, False, True]
+    (failure,) = report.failures
+    assert failure.experiment_id == "errant"
+    assert "mid-experiment fault" in failure.message
+    assert failure.traceback  # full traceback captured for triage
+
+
+def test_injected_timeout_fails_instead_of_hanging():
+    """The watchdog converts an over-budget run into a timeout failure."""
+    import time
+
+    from repro.experiments import FAST_CONFIG, ExperimentContext
+    from repro.runtime import run_supervised
+    from repro.runtime.chaos import hanging_run
+
+    start = time.monotonic()
+    outcome = run_supervised(
+        "stuck", hanging_run(120.0), ExperimentContext(FAST_CONFIG), timeout_s=0.2
+    )
+    assert time.monotonic() - start < 30  # the suite itself did not hang
+    assert not outcome.ok
+    assert outcome.failure.kind == "timeout"
