@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Measure experiment fan-out speedup at --jobs 1/2/4.
+
+Each jobs level runs the same experiment set end to end through the CLI
+in a subprocess, with a fresh checkpoint directory per run so every
+level does the full computation (no cross-level resume).  Prints a
+table of wall-clock seconds, speedup over jobs=1, and parallel
+efficiency, and optionally writes the numbers as JSON for the CI
+perf-regression gate.
+
+Usage::
+
+    python benchmarks/bench_parallel_scaling.py --fast
+    python benchmarks/bench_parallel_scaling.py --fast --jobs 1 2 4 \\
+        --experiments fig3_4 tab3_ovh tab4_ovh --json BENCH_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+#: two full chapter sweeps (16 error traces over 2 chips) plus three
+#: cheap experiments: enough parallelizable artefact work that the
+#: fan-out, not interpreter start-up, dominates the wall-clock
+DEFAULT_EXPERIMENTS = ("fig3_4", "fig3_8", "fig3_9", "fig4_8", "fig4_9",
+                       "tab3_ovh", "tab4_ovh")
+DEFAULT_CYCLES = 10_000
+
+
+def run_once(experiments, jobs, fast, cycles):
+    """Wall-clock seconds for one cold CLI run at the given jobs level."""
+    ckpt = tempfile.mkdtemp(prefix=f"bench-ckpt-j{jobs}-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro.experiments", *experiments,
+        "--jobs", str(jobs), "--checkpoint-dir", ckpt,
+    ]
+    if fast:
+        cmd.append("--fast")
+    if cycles:
+        cmd.extend(["--cycles", str(cycles)])
+    start = time.perf_counter()
+    try:
+        subprocess.run(
+            cmd, check=True, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+    finally:
+        shutil.rmtree(ckpt, ignore_errors=True)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument(
+        "--experiments", nargs="+", default=list(DEFAULT_EXPERIMENTS)
+    )
+    parser.add_argument("--fast", action="store_true", default=True)
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES)
+    parser.add_argument("--json", help="also write the numbers to this file")
+    args = parser.parse_args(argv)
+
+    results = []
+    base = None
+    for jobs in args.jobs:
+        elapsed = run_once(args.experiments, jobs, args.fast, args.cycles)
+        if base is None:
+            base = elapsed
+        results.append(
+            {
+                "jobs": jobs,
+                "wall_s": round(elapsed, 2),
+                "speedup": round(base / elapsed, 2),
+                "efficiency": round(base / elapsed / jobs, 2),
+            }
+        )
+        print(
+            f"jobs={jobs:<3d} wall={elapsed:7.1f}s "
+            f"speedup={base / elapsed:5.2f}x "
+            f"efficiency={base / elapsed / jobs:5.2f}",
+            flush=True,
+        )
+
+    payload = {
+        "experiments": args.experiments,
+        "cpu_count": os.cpu_count(),
+        "scaling": results,
+    }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"scaling numbers written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

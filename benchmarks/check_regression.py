@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""CI perf-regression gate.
+
+Merges the pytest-benchmark results and the parallel-scaling numbers
+into one ``BENCH_ci.json`` artifact, then compares the tier-1 smoke
+benchmarks against the committed baseline
+(``benchmarks/baseline.json``).  A benchmark whose mean wall-clock
+exceeds its baseline by more than the tolerance (default 30%) — or a
+baselined benchmark that silently stopped running — fails the job.
+
+Usage (mirrors the CI perf job)::
+
+    python benchmarks/check_regression.py \\
+        --bench BENCH_bench.json --scaling BENCH_scaling.json \\
+        --baseline benchmarks/baseline.json --out BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_bench_means(path: str) -> dict[str, float]:
+    """name -> mean seconds from a pytest-benchmark JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--scaling",
+                        help="bench_parallel_scaling.py --json output")
+    parser.add_argument("--baseline", default="benchmarks/baseline.json")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline file's tolerance")
+    parser.add_argument("--out", default="BENCH_ci.json")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else float(baseline.get("tolerance", 0.30))
+    )
+
+    means = load_bench_means(args.bench)
+    scaling = None
+    if args.scaling:
+        with open(args.scaling) as handle:
+            scaling = json.load(handle)
+
+    regressions = []
+    checked = {}
+    for name, allowed_mean in baseline.get("bench_mean_s", {}).items():
+        limit = allowed_mean * (1.0 + tolerance)
+        measured = means.get(name)
+        checked[name] = {
+            "baseline_s": allowed_mean,
+            "limit_s": round(limit, 3),
+            "measured_s": round(measured, 3) if measured is not None else None,
+        }
+        if measured is None:
+            regressions.append(f"{name}: baselined benchmark did not run")
+        elif measured > limit:
+            regressions.append(
+                f"{name}: {measured:.2f}s exceeds {allowed_mean:.2f}s "
+                f"baseline by more than {tolerance:.0%} (limit {limit:.2f}s)"
+            )
+
+    report = {
+        "tolerance": tolerance,
+        "bench_mean_s": {name: round(mean, 3) for name, mean in means.items()},
+        "checked": checked,
+        "scaling": scaling,
+        "regressions": regressions,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"merged perf report written to {args.out}")
+
+    for name, info in checked.items():
+        status = "REGRESSED" if any(r.startswith(name) for r in regressions) else "ok"
+        measured = info["measured_s"]
+        measured_text = f"{measured:.2f}s" if measured is not None else "missing"
+        print(f"  {name:<28s} {measured_text:>9s} "
+              f"(baseline {info['baseline_s']:.2f}s, limit {info['limit_s']:.2f}s) "
+              f"{status}")
+    if regressions:
+        print("PERF REGRESSION:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("no perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

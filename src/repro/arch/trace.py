@@ -24,7 +24,7 @@ pools plus an escape probability for fresh values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

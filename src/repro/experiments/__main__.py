@@ -8,12 +8,19 @@ exit code is non-zero only if something failed.  With
 traces) persist across invocations, so an interrupted ``all`` run
 resumes in seconds.
 
+With ``--jobs N`` (default: one per CPU) experiments fan out across a
+process pool: shared artefacts are prefetched in parallel through the
+checkpoint store, outcomes merge deterministically in submission order,
+and a killed worker degrades to a single failure record.  ``--jobs 1``
+forces the serial path.
+
 Examples::
 
     python -m repro.experiments fig3_10
     python -m repro.experiments all --cycles 50000
     python -m repro.experiments fig4_8 fig4_9 --fast --out results.txt
     python -m repro.experiments all --fast --checkpoint-dir .ckpt --retries 1
+    python -m repro.experiments all --fast --jobs 4   # parallel fan-out
     python -m repro.experiments all --fast --chaos-fail fig3_9   # self-test
 """
 
@@ -21,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import sys
 import tempfile
 from dataclasses import replace
@@ -28,7 +36,15 @@ from dataclasses import replace
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentContext
-from repro.runtime import CheckpointStore, RunOutcome, configure_logging, run_many
+from repro.runtime import (
+    CheckpointStore,
+    RunOutcome,
+    WorkerSpec,
+    configure_logging,
+    default_jobs,
+    run_fleet,
+    run_many,
+)
 from repro.runtime.chaos import chaos_resolve
 from repro.runtime.log import get_logger
 
@@ -61,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     runtime = parser.add_argument_group("resilient runtime")
     runtime.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for experiment fan-out "
+        "(0 = one per CPU, 1 = serial; default: 0)",
+    )
+    runtime.add_argument(
         "--checkpoint-dir",
         help="persist chips/error traces here and resume from previous runs",
     )
@@ -88,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="ID",
         help="self-test: inject a failure into this experiment (repeatable)",
+    )
+    runtime.add_argument(
+        "--chaos-kill",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="self-test: kill the worker running this experiment "
+        "(requires --jobs >= 2; repeatable)",
     )
     runtime.add_argument(
         "-v", "--verbose",
@@ -137,6 +169,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--retries must be >= 0")
     if args.timeout_s is not None and args.timeout_s <= 0:
         parser.error("--timeout-s must be positive")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    jobs = args.jobs or default_jobs()
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for experiment_id in ids:
@@ -145,6 +180,11 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in args.chaos_fail:
         if experiment_id not in EXPERIMENTS:
             parser.error(f"unknown --chaos-fail experiment {experiment_id!r}")
+    for experiment_id in args.chaos_kill:
+        if experiment_id not in EXPERIMENTS:
+            parser.error(f"unknown --chaos-kill experiment {experiment_id!r}")
+    if args.chaos_kill and jobs < 2:
+        parser.error("--chaos-kill requires --jobs >= 2 (it takes a worker down)")
 
     store = None
     if args.checkpoint_dir:
@@ -153,11 +193,6 @@ def main(argv: list[str] | None = None) -> int:
             "checkpoint store at %s (%d entries, resume=%s)",
             store.root, len(store), store.resume,
         )
-    ctx = ExperimentContext(config, store=store)
-
-    resolve = get_experiment
-    if args.chaos_fail:
-        resolve = chaos_resolve(set(args.chaos_fail), get_experiment)
 
     def report_outcome(outcome: RunOutcome) -> None:
         if outcome.result is not None:
@@ -171,13 +206,47 @@ def main(argv: list[str] | None = None) -> int:
                 f"{outcome.failure.message}]\n"
             )
 
-    report = run_many(
-        ids, ctx,
-        retries=args.retries,
-        timeout_s=args.timeout_s,
-        resolve=resolve,
-        on_outcome=report_outcome,
-    )
+    if jobs > 1:
+        # Parallel fan-out.  Workers rendezvous through a shared
+        # checkpoint store; without a user-provided one, an ephemeral
+        # store still lets workers share chips and error traces.
+        ephemeral_dir = None
+        checkpoint_dir = args.checkpoint_dir
+        if not checkpoint_dir:
+            ephemeral_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+            checkpoint_dir = ephemeral_dir
+        spec = WorkerSpec(
+            config=config,
+            checkpoint_dir=checkpoint_dir,
+            resume=not args.no_resume,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+            chaos_fail=tuple(args.chaos_fail),
+            chaos_kill=tuple(args.chaos_kill),
+            verbose=args.verbose,
+        )
+        logger.info("fanning %d experiment(s) out across %d worker(s)", len(ids), jobs)
+        try:
+            report, worker_stats = run_fleet(
+                ids, spec, jobs=jobs, on_outcome=report_outcome
+            )
+        finally:
+            if ephemeral_dir is not None:
+                shutil.rmtree(ephemeral_dir, ignore_errors=True)
+        if store is not None:
+            store.stats.merge(worker_stats)
+    else:
+        ctx = ExperimentContext(config, store=store)
+        resolve = get_experiment
+        if args.chaos_fail:
+            resolve = chaos_resolve(set(args.chaos_fail), get_experiment)
+        report = run_many(
+            ids, ctx,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+            resolve=resolve,
+            on_outcome=report_outcome,
+        )
 
     report_write_failed = False
     if args.out:

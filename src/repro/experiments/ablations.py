@@ -15,8 +15,6 @@ results:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.alu import build_alu
 from repro.circuits.ex_stage import build_ex_stage
 from repro.core.dcs import DcsScheme

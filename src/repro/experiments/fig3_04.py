@@ -11,8 +11,6 @@ instruction that erred once cannot be blindly predicted to always err.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.arch.isa import FIG3_4_INSTRS, Instr
 from repro.experiments.report import ExperimentResult, Table, percent
 from repro.experiments.runner import ExperimentContext

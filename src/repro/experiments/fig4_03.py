@@ -13,8 +13,6 @@ error-free shares, so no single-opcode rule can predict choke errors.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.arch.isa import FIG4_3_INSTRS, Instr
 from repro.experiments.report import ExperimentResult, Table, percent
 from repro.experiments.runner import ExperimentContext

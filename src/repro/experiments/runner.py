@@ -131,3 +131,68 @@ class ExperimentContext:
 
     def ch4_error_trace(self, benchmark: str) -> ErrorTrace:
         return self.error_trace(benchmark, self.config.ch4_chip_seed)
+
+
+# ----------------------------------------------------------------------
+# parallel pre-warming: which artefacts will a set of experiments need?
+# ----------------------------------------------------------------------
+
+#: experiments that walk the Chapter-3 reference chip over every benchmark
+_CH3_SWEEP = frozenset(
+    {"fig3_8", "fig3_9", "fig3_10", "fig3_11", "fig3_12", "abl_tags"}
+)
+#: experiments that walk the Chapter-4 reference chip over every benchmark
+_CH4_SWEEP = frozenset(
+    {"fig4_3", "fig4_4", "fig4_8", "fig4_9", "fig4_10", "fig4_11", "fig4_12"}
+)
+#: the four (corner, buffered) EX-stage configurations of fig4_2
+_FIG4_2_CONFIGS = (("NTC", False), ("NTC", True), ("STC", False), ("STC", True))
+
+
+def prefetch_plan(
+    config: ExperimentConfig, experiment_ids
+) -> tuple[tuple[tuple, ...], tuple[tuple, ...]]:
+    """The (chip specs, error-trace specs) the given experiments will need.
+
+    Chip specs are ``(kind, seed, corner, buffered)`` with kind
+    ``"stage"`` (:meth:`ExperimentContext.chip`) or ``"alu"``
+    (:meth:`ExperimentContext.alu_chip`, ``buffered`` ignored); trace
+    specs are ``(benchmark, chip_seed, corner, buffered)``
+    (:meth:`ExperimentContext.error_trace`).  The plan is intentionally
+    a *hint*: an under-estimate just means a worker computes the
+    artefact itself through the claimed store, an over-estimate wastes
+    one pool slot.  Every error trace's chip is included, so the chip
+    phase fully feeds the trace phase.
+    """
+    ids = set(experiment_ids)
+    chips: dict[tuple, None] = {}  # insertion-ordered de-dup
+    traces: dict[tuple, None] = {}
+
+    ch3_benchmarks: list[str] = []
+    if "fig3_4" in ids:
+        ch3_benchmarks.append("vortex")
+    if ids & _CH3_SWEEP:
+        ch3_benchmarks = [b for b in config.benchmarks]
+    for benchmark in ch3_benchmarks:
+        chips[("stage", config.ch3_chip_seed, "NTC", True)] = None
+        traces[(benchmark, config.ch3_chip_seed, "NTC", True)] = None
+
+    if ids & _CH4_SWEEP:
+        chips[("stage", config.ch4_chip_seed, "NTC", True)] = None
+        for benchmark in config.benchmarks:
+            traces[(benchmark, config.ch4_chip_seed, "NTC", True)] = None
+
+    if "fig3_2" in ids or "fig3_3" in ids:
+        corners = ("STC", "NTC") if "fig3_2" in ids else ("NTC",)
+        for corner in corners:
+            for chip_index in range(config.characterization_chips):
+                chips[("alu", 1000 + chip_index, corner, True)] = None
+
+    if "fig4_2" in ids:
+        chips_per_config = max(2, config.characterization_chips // 3)
+        for corner, buffered in _FIG4_2_CONFIGS:
+            for chip_index in range(chips_per_config):
+                seed = config.ch4_chip_seed + chip_index * 37
+                chips[("stage", seed, corner, buffered)] = None
+
+    return tuple(chips), tuple(traces)

@@ -7,8 +7,10 @@ reproduction harness itself:
   crashing experiment never aborts the batch.
 * :mod:`repro.runtime.checkpoint` — checksum-verified on-disk store for
   expensive artefacts (chips, error traces) enabling checkpoint/resume.
+* :mod:`repro.runtime.parallel` — process-pool fan-out of artefacts and
+  experiments with deterministic merge and crash containment.
 * :mod:`repro.runtime.chaos` — deliberate fault injection so tests can
-  prove the two layers above degrade gracefully.
+  prove the layers above degrade gracefully.
 * :mod:`repro.runtime.log` — shared structured logging.
 """
 
@@ -28,6 +30,13 @@ from repro.runtime.executor import (
 )
 from repro.runtime.log import configure as configure_logging
 from repro.runtime.log import get_logger
+from repro.runtime.parallel import (
+    WorkerSpec,
+    default_jobs,
+    prefetch_artefacts,
+    run_fleet,
+    run_many_parallel,
+)
 
 __all__ = [
     "CheckpointStore",
@@ -36,10 +45,15 @@ __all__ = [
     "RunOutcome",
     "RunReport",
     "StoreStats",
+    "WorkerSpec",
     "artefact_key",
     "config_fingerprint",
     "configure_logging",
+    "default_jobs",
     "get_logger",
+    "prefetch_artefacts",
+    "run_fleet",
     "run_many",
+    "run_many_parallel",
     "run_supervised",
 ]

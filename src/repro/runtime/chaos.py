@@ -11,6 +11,7 @@ recomputation instead of assuming it.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable
 
@@ -59,6 +60,41 @@ def hanging_run(seconds: float = 3600.0) -> Callable:
     def run(ctx):
         time.sleep(seconds)
         raise AssertionError("hanging_run outlived its watchdog")
+
+    return run
+
+
+def killed_run(exit_code: int = 86) -> Callable:
+    """An experiment body that dies like a SIGKILL'd / OOM'd process.
+
+    ``os._exit`` skips every Python-level cleanup, so from the parallel
+    orchestrator's point of view the worker simply vanishes — the
+    hardest failure the pool must contain.  Never use in a serial run:
+    it takes the whole interpreter with it (which is the point).
+    """
+
+    def run(ctx):
+        os._exit(exit_code)
+
+    return run
+
+
+def slow_run(seconds: float, fn: Callable | None = None) -> Callable:
+    """Delay ``fn`` (or a trivial success) by ``seconds``.
+
+    Used to prove the parallel watchdog measures from *worker start*:
+    N slow bodies queued on one worker each stay within a per-run
+    budget even though the last one finishes N x ``seconds`` after
+    submission.
+    """
+
+    def run(ctx):
+        time.sleep(seconds)
+        if fn is not None:
+            return fn(ctx)
+        from repro.experiments.report import ExperimentResult
+
+        return ExperimentResult("slow", f"slept {seconds:g}s")
 
     return run
 

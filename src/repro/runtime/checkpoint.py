@@ -15,6 +15,18 @@ reported as a miss so the caller transparently recomputes.  Writes are
 atomic (temp file in the same directory + ``os.replace``), so a crash
 mid-write leaves the previous entry — or no entry — but never a torn
 one.
+
+Multi-process sharing (the ``claims=True`` mode used by the parallel
+runtime): atomic writes already make concurrent writers *safe* — the
+last ``os.replace`` wins and every artefact is a deterministic function
+of its key, so duplicates are merely wasted work.  The claim protocol
+removes the waste: before computing a missing entry a worker creates
+``<key>.claim`` with ``O_CREAT | O_EXCL`` (an atomic test-and-set on
+every POSIX filesystem); losers poll for the winner's entry instead of
+recomputing.  A claim left behind by a dead worker goes stale after
+``claim_stale_s`` and is broken; a waiter that exhausts its patience
+falls back to computing the artefact itself — duplicate work is always
+preferred over a deadlock.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -39,6 +52,7 @@ FORMAT_VERSION = 1
 
 _MAGIC = b"REPRO-CKPT"
 _SUFFIX = ".ckpt"
+_CLAIM_SUFFIX = ".claim"
 
 
 def config_fingerprint(config: Any) -> str:
@@ -72,9 +86,18 @@ class StoreStats:
     stores: int = 0
     corrupt: int = 0
     write_errors: int = 0
+    claims_won: int = 0
+    claims_waited: int = 0
+    claims_broken: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
+
+    def merge(self, other: "StoreStats | dict[str, int]") -> None:
+        """Fold another process's counters into this one (parallel runs)."""
+        counts = other.as_dict() if isinstance(other, StoreStats) else other
+        for name, value in counts.items():
+            setattr(self, name, getattr(self, name, 0) + int(value))
 
 
 @dataclass
@@ -84,11 +107,20 @@ class CheckpointStore:
     With ``resume=False`` every load reports a miss (forcing
     recomputation) but saves still happen, refreshing the store — the
     semantics of the CLI's ``--no-resume``.
+
+    With ``claims=True`` (the parallel workers' mode) :meth:`fetch`
+    arbitrates concurrent computation of the same key through claim
+    files — see the module docstring for the protocol.
     """
 
     root: Path
     resume: bool = True
     stats: StoreStats = field(default_factory=StoreStats)
+    claims: bool = False
+    #: a claim older than this is presumed orphaned by a dead worker
+    claim_stale_s: float = 600.0
+    #: how often a waiting worker re-checks for the winner's entry
+    claim_poll_s: float = 0.05
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -159,13 +191,92 @@ class CheckpointStore:
         return obj
 
     def fetch(self, key: str, compute, *args, **kwargs) -> Any:
-        """Load ``key`` or compute-and-save it (the one-stop accessor)."""
+        """Load ``key`` or compute-and-save it (the one-stop accessor).
+
+        In ``claims`` mode, concurrent fetchers of the same key elect a
+        single computer; the rest wait for its entry.
+        """
+        if self.claims and self.resume:
+            return self._fetch_claimed(key, compute, *args, **kwargs)
         cached = self.load(key)
         if cached is not None:
             return cached
         obj = compute(*args, **kwargs)
         self.save(key, obj)
         return obj
+
+    # ------------------------------------------------------------------
+    # claim protocol (cross-process duplicate-work suppression)
+    # ------------------------------------------------------------------
+    def claim_path(self, key: str) -> Path:
+        return self.root / f"{key}{_CLAIM_SUFFIX}"
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically acquire the right to compute ``key``.
+
+        Returns True iff this process now holds the claim.  A stale
+        claim (older than ``claim_stale_s``) is broken so a worker that
+        died mid-computation can never wedge the fleet.
+        """
+        path = self.claim_path(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                return False  # released between open and stat; caller re-loads
+            if age > self.claim_stale_s:
+                self.stats.claims_broken += 1
+                logger.warning("breaking stale claim on %s (%.0fs old)", key, age)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # another waiter broke it first
+            return False
+        except OSError:
+            return False  # unwritable store: claimless fallback still works
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+        self.stats.claims_won += 1
+        return True
+
+    def release(self, key: str) -> None:
+        try:
+            os.unlink(self.claim_path(key))
+        except OSError:
+            pass
+
+    def _fetch_claimed(self, key: str, compute, *args, **kwargs) -> Any:
+        deadline = time.monotonic() + self.claim_stale_s
+        waited = False
+        check_entry = True  # poll existence while waiting; load only then
+        while True:
+            if check_entry:
+                cached = self.load(key)
+                if cached is not None:
+                    return cached
+            if self.try_claim(key):
+                try:
+                    obj = compute(*args, **kwargs)
+                    self.save(key, obj)
+                finally:
+                    self.release(key)
+                return obj
+            # another process holds the claim: wait for its entry, but
+            # never past the deadline — a duplicate computation is
+            # deterministic and atomic-replace-safe, a deadlock is not.
+            if not waited:
+                waited = True
+                self.stats.claims_waited += 1
+                logger.debug("waiting on claim for %s", key)
+            if time.monotonic() >= deadline:
+                logger.warning("claim wait on %s expired; computing locally", key)
+                obj = compute(*args, **kwargs)
+                self.save(key, obj)
+                return obj
+            time.sleep(self.claim_poll_s)
+            check_entry = key in self
 
     # ------------------------------------------------------------------
     def _atomic_write(self, path: Path, data: bytes) -> None:

@@ -39,7 +39,7 @@ class FailureRecord:
     """Everything needed to triage one failed experiment run."""
 
     experiment_id: str
-    kind: str  # "exception" | "timeout"
+    kind: str  # "exception" | "timeout" | "crash"
     error_type: str
     message: str
     traceback: str
@@ -97,6 +97,8 @@ class RunReport:
                 status = "ok"
             elif outcome.failure is not None and outcome.failure.kind == "timeout":
                 status = "TIMEOUT"
+            elif outcome.failure is not None and outcome.failure.kind == "crash":
+                status = "CRASH"
             else:
                 status = "FAIL"
             line = (

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.gates.netlist import Netlist
 from repro.pv.chip import ChipSample
 from repro.timing.dta import single_transition_arrivals
 from repro.timing.levelize import LevelizedCircuit

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.gates.celllib import GateKind
 from repro.timing.levelize import LevelizedCircuit
 from repro.timing.logic_eval import evaluate_logic
 

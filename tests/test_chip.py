@@ -1,6 +1,5 @@
 """Unit tests for fabricated-chip samples."""
 
-import numpy as np
 import pytest
 
 from repro.pv.chip import fabricate_chip

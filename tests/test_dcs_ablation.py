@@ -1,7 +1,6 @@
 """Tests for the DCS tag-granularity ablation knobs."""
 
 import numpy as np
-import pytest
 
 from repro.core.dcs import DcsScheme
 from repro.timing.dta import ERR_SE_MAX

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gates.builder import NetlistBuilder
-from repro.gates.celllib import CELL_LIBRARY, GateKind
 from repro.timing.dta import (
     ERR_CE,
     ERR_NONE,
@@ -76,7 +75,7 @@ def test_diamond_takes_slowest_and_fastest_sensitised_branch():
     late, early, toggled = single_transition_arrivals(
         circuit, inputs[:, 0], inputs[:, 1], delays
     )
-    assert toggled[out] == False  # XOR of two equal transitions ends equal
+    assert not toggled[out]  # XOR of two equal transitions ends equal
     # but left/right each transitioned:
     assert late[left] == pytest.approx(30.0)
     assert late[right] == pytest.approx(20.0)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuits.alu import AluOp
 from repro.circuits.ex_stage import build_ex_stage
-from repro.pv.delaymodel import NTC, STC
+from repro.pv.delaymodel import NTC
 from repro.timing.sta import arrival_times
 
 

@@ -1,7 +1,5 @@
 """Unit tests for circuit levelisation."""
 
-import numpy as np
-
 from repro.gates.builder import NetlistBuilder
 from repro.gates.celllib import GateKind
 from repro.timing.levelize import levelize

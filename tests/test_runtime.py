@@ -26,7 +26,7 @@ from repro.runtime import (
     run_supervised,
 )
 from repro.runtime import chaos
-from repro.runtime.checkpoint import FORMAT_VERSION, _MAGIC
+from repro.runtime.checkpoint import FORMAT_VERSION
 
 TINY = replace(FAST_CONFIG, cycles=200)
 
@@ -248,8 +248,10 @@ def test_cli_chaos_fail_isolates_and_exits_nonzero(capsys):
 def test_cli_checkpoint_resume_skips_recompute(tmp_path, monkeypatch, capsys):
     from repro.experiments.__main__ import main
 
+    # --jobs 1: this probes the serial in-process resume path (the
+    # parallel equivalent lives in test_parallel.py)
     ckpt = str(tmp_path / "ckpt")
-    assert main(["fig3_4", "--fast", "--cycles", "200",
+    assert main(["fig3_4", "--fast", "--cycles", "200", "--jobs", "1",
                  "--checkpoint-dir", ckpt]) == 0
     capsys.readouterr()
 
@@ -257,7 +259,7 @@ def test_cli_checkpoint_resume_skips_recompute(tmp_path, monkeypatch, capsys):
         "repro.experiments.runner.build_error_trace",
         lambda *a, **k: pytest.fail("resumed run recomputed the error trace"),
     )
-    assert main(["fig3_4", "--fast", "--cycles", "200",
+    assert main(["fig3_4", "--fast", "--cycles", "200", "--jobs", "1",
                  "--checkpoint-dir", ckpt]) == 0
     out = capsys.readouterr().out
     assert "1 hits" in out
@@ -267,10 +269,10 @@ def test_cli_no_resume_recomputes(tmp_path, capsys):
     from repro.experiments.__main__ import main
 
     ckpt = str(tmp_path / "ckpt")
-    assert main(["fig3_4", "--fast", "--cycles", "200",
+    assert main(["fig3_4", "--fast", "--cycles", "200", "--jobs", "1",
                  "--checkpoint-dir", ckpt]) == 0
     capsys.readouterr()
-    assert main(["fig3_4", "--fast", "--cycles", "200",
+    assert main(["fig3_4", "--fast", "--cycles", "200", "--jobs", "1",
                  "--checkpoint-dir", ckpt, "--no-resume"]) == 0
     assert "0 hits" in capsys.readouterr().out
 

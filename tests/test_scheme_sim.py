@@ -5,7 +5,7 @@ import pytest
 
 from repro.arch.operands import operand_size_class, owm_flag
 from repro.core.scheme_sim import build_error_trace
-from repro.timing.dta import ERR_CE, ERR_SE_MAX, ERR_SE_MIN
+from repro.timing.dta import ERR_CE
 
 
 def test_alignment_sensitising_vs_initialising(error_trace16, mcf_trace16):

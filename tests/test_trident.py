@@ -1,7 +1,6 @@
 """Unit tests for the Trident controller on synthetic error traces."""
 
 import numpy as np
-import pytest
 
 from repro.arch.pipeline import PipelineConfig
 from repro.core.trident import TridentScheme
