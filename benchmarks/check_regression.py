@@ -8,11 +8,21 @@ benchmarks against the committed baseline
 exceeds its baseline by more than the tolerance (default 30%) — or a
 baselined benchmark that silently stopped running — fails the job.
 
-Usage (mirrors the CI perf job)::
+With ``--metrics`` it additionally diffs key telemetry counters from a
+``metrics.json`` (written by ``--metrics-out``) against the baseline's
+``metrics`` section: checkpoint hit-rate, span wall-clock totals, and
+the pinned domain counters.  Metric drift beyond the tolerance
+(default 20%) only **warns** — counters drift for legitimate reasons
+(config changes, new instrumentation) far more often than they signal
+a regression, so they inform the reviewer instead of gating the merge.
+
+Usage (mirrors the CI perf and telemetry jobs)::
 
     python benchmarks/check_regression.py \\
         --bench BENCH_bench.json --scaling BENCH_scaling.json \\
         --baseline benchmarks/baseline.json --out BENCH_ci.json
+    python benchmarks/check_regression.py \\
+        --metrics metrics.json --out BENCH_telemetry.json
 """
 
 from __future__ import annotations
@@ -32,17 +42,66 @@ def load_bench_means(path: str) -> dict[str, float]:
     }
 
 
+def telemetry_observations(metrics_path: str) -> dict[str, float]:
+    """Counters + derived values from a ``metrics.json`` worth diffing."""
+    with open(metrics_path) as handle:
+        doc = json.load(handle)
+    counters = doc.get("counters", {})
+    observed: dict[str, float] = dict(counters)
+    hits = counters.get("checkpoint.hits", 0)
+    misses = counters.get("checkpoint.misses", 0)
+    if hits + misses:
+        observed["derived.checkpoint_hit_rate"] = hits / (hits + misses)
+    observed["derived.span_total_s"] = sum(
+        entry.get("sum", 0.0)
+        for name, entry in doc.get("histograms", {}).items()
+        if name.startswith("span.") and name.endswith(".s")
+    )
+    return observed
+
+
+def diff_metrics(
+    observed: dict[str, float], baseline_metrics: dict, tolerance: float
+) -> tuple[dict, list[str]]:
+    """Compare observed counters to the baseline; drift only warns."""
+    checked = {}
+    warnings = []
+    for name, expected in baseline_metrics.get("counters", {}).items():
+        measured = observed.get(name)
+        drift = None
+        if measured is not None and expected:
+            drift = (measured - expected) / expected
+        checked[name] = {
+            "baseline": expected,
+            "measured": round(measured, 6) if measured is not None else None,
+            "drift": round(drift, 4) if drift is not None else None,
+        }
+        if measured is None:
+            warnings.append(f"{name}: baselined metric not present in metrics.json")
+        elif drift is not None and abs(drift) > tolerance:
+            warnings.append(
+                f"{name}: {measured:g} drifted {drift:+.0%} from "
+                f"baseline {expected:g} (tolerance {tolerance:.0%})"
+            )
+    return checked, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", required=True,
+    parser.add_argument("--bench",
                         help="pytest-benchmark --benchmark-json output")
     parser.add_argument("--scaling",
                         help="bench_parallel_scaling.py --json output")
+    parser.add_argument("--metrics",
+                        help="telemetry metrics.json (from --metrics-out) "
+                        "to diff against the baseline's metrics section")
     parser.add_argument("--baseline", default="benchmarks/baseline.json")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline file's tolerance")
     parser.add_argument("--out", default="BENCH_ci.json")
     args = parser.parse_args(argv)
+    if not (args.bench or args.metrics):
+        parser.error("nothing to check: pass --bench and/or --metrics")
 
     with open(args.baseline) as handle:
         baseline = json.load(handle)
@@ -51,7 +110,7 @@ def main(argv=None) -> int:
         else float(baseline.get("tolerance", 0.30))
     )
 
-    means = load_bench_means(args.bench)
+    means = load_bench_means(args.bench) if args.bench else {}
     scaling = None
     if args.scaling:
         with open(args.scaling) as handle:
@@ -59,27 +118,43 @@ def main(argv=None) -> int:
 
     regressions = []
     checked = {}
-    for name, allowed_mean in baseline.get("bench_mean_s", {}).items():
-        limit = allowed_mean * (1.0 + tolerance)
-        measured = means.get(name)
-        checked[name] = {
-            "baseline_s": allowed_mean,
-            "limit_s": round(limit, 3),
-            "measured_s": round(measured, 3) if measured is not None else None,
-        }
-        if measured is None:
-            regressions.append(f"{name}: baselined benchmark did not run")
-        elif measured > limit:
-            regressions.append(
-                f"{name}: {measured:.2f}s exceeds {allowed_mean:.2f}s "
-                f"baseline by more than {tolerance:.0%} (limit {limit:.2f}s)"
-            )
+    if args.bench:
+        for name, allowed_mean in baseline.get("bench_mean_s", {}).items():
+            limit = allowed_mean * (1.0 + tolerance)
+            measured = means.get(name)
+            checked[name] = {
+                "baseline_s": allowed_mean,
+                "limit_s": round(limit, 3),
+                "measured_s": round(measured, 3) if measured is not None else None,
+            }
+            if measured is None:
+                regressions.append(f"{name}: baselined benchmark did not run")
+            elif measured > limit:
+                regressions.append(
+                    f"{name}: {measured:.2f}s exceeds {allowed_mean:.2f}s "
+                    f"baseline by more than {tolerance:.0%} (limit {limit:.2f}s)"
+                )
+
+    metrics_checked = {}
+    metrics_warnings = []
+    if args.metrics:
+        baseline_metrics = baseline.get("metrics", {})
+        metrics_tolerance = (
+            args.tolerance if args.tolerance is not None
+            else float(baseline_metrics.get("tolerance", 0.20))
+        )
+        observed = telemetry_observations(args.metrics)
+        metrics_checked, metrics_warnings = diff_metrics(
+            observed, baseline_metrics, metrics_tolerance
+        )
 
     report = {
         "tolerance": tolerance,
         "bench_mean_s": {name: round(mean, 3) for name, mean in means.items()},
         "checked": checked,
         "scaling": scaling,
+        "metrics": metrics_checked,
+        "metrics_warnings": metrics_warnings,
         "regressions": regressions,
     }
     with open(args.out, "w") as handle:
@@ -93,6 +168,18 @@ def main(argv=None) -> int:
         print(f"  {name:<28s} {measured_text:>9s} "
               f"(baseline {info['baseline_s']:.2f}s, limit {info['limit_s']:.2f}s) "
               f"{status}")
+    for name, info in metrics_checked.items():
+        drift = info["drift"]
+        drift_text = f"{drift:+.0%}" if drift is not None else "n/a"
+        drifted = any(w.startswith(name) for w in metrics_warnings)
+        status = "DRIFTED" if drifted else "ok"
+        print(f"  {name:<36s} {info['measured']!s:>12s} "
+              f"(baseline {info['baseline']!s}, drift {drift_text}) {status}")
+    if metrics_warnings:
+        # counter drift informs, never gates: warn and keep the job green
+        print("TELEMETRY DRIFT (warning only):", file=sys.stderr)
+        for warning in metrics_warnings:
+            print(f"  {warning}", file=sys.stderr)
     if regressions:
         print("PERF REGRESSION:", file=sys.stderr)
         for regression in regressions:

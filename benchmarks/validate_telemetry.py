@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Validate telemetry artifacts against the checked-in schemas.
+
+The CI telemetry job runs this on the ``metrics.json`` / ``trace.json``
+written by ``python -m repro.experiments ... --metrics-out --trace-out``
+before uploading them as artifacts, so a schema drift fails loudly in
+CI instead of silently shipping malformed telemetry.
+
+Usage (needs ``PYTHONPATH=src`` like the rest of the harness)::
+
+    PYTHONPATH=src python benchmarks/validate_telemetry.py \\
+        --metrics metrics.json --trace trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.schema import check
+
+SCHEMA_DIR = Path(__file__).resolve().parent / "schemas"
+
+
+def validate_file(document_path: str, schema_name: str) -> None:
+    with open(document_path) as handle:
+        document = json.load(handle)
+    schema = json.loads((SCHEMA_DIR / schema_name).read_text())
+    check(document, schema, label=document_path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics", help="metrics.json to validate")
+    parser.add_argument("--trace", help="trace.json to validate")
+    args = parser.parse_args(argv)
+    if not (args.metrics or args.trace):
+        parser.error("nothing to validate: pass --metrics and/or --trace")
+
+    failures = 0
+    for document_path, schema_name in (
+        (args.metrics, "metrics.schema.json"),
+        (args.trace, "trace.schema.json"),
+    ):
+        if not document_path:
+            continue
+        try:
+            validate_file(document_path, schema_name)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {document_path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {document_path} conforms to {schema_name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,17 +22,28 @@ Examples::
     python -m repro.experiments all --fast --checkpoint-dir .ckpt --retries 1
     python -m repro.experiments all --fast --jobs 4   # parallel fan-out
     python -m repro.experiments all --fast --chaos-fail fig3_9   # self-test
+    python -m repro.experiments all --fast --jobs 4 \
+        --metrics-out metrics.json --trace-out trace.json  # telemetry
+
+With ``--metrics-out`` / ``--trace-out`` / ``--profile`` the run is
+instrumented end to end (see :mod:`repro.obs`): counters, gauges and
+span histograms merge across workers into ``metrics.json``, every phase
+becomes a Chrome trace event viewable in Perfetto (``trace.json``), and
+``--profile`` captures cProfile stats for the slowest spans.  A summary
+table of the hottest spans prints at the end of the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import sys
 import tempfile
 from dataclasses import replace
 
+from repro import obs
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.runner import ExperimentContext
@@ -127,6 +138,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="runtime logging (-v info, -vv debug)",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry (any of these flags switches telemetry on)"
+    )
+    telemetry.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write merged counters/gauges/histograms as JSON",
+    )
+    telemetry.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto)",
+    )
+    telemetry.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="capture cProfile stats per span; write the slowest spans here",
+    )
+    telemetry.add_argument(
+        "--profile-top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slowest spans keep their profiles (default: 5)",
+    )
     return parser
 
 
@@ -171,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--timeout-s must be positive")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.profile_top < 1:
+        parser.error("--profile-top must be >= 1")
     jobs = args.jobs or default_jobs()
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -185,6 +223,20 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown --chaos-kill experiment {experiment_id!r}")
     if args.chaos_kill and jobs < 2:
         parser.error("--chaos-kill requires --jobs >= 2 (it takes a worker down)")
+
+    # Telemetry is on iff any telemetry flag was given; the recorder is
+    # installed before the store so checkpoint counters are captured.
+    telemetry_on = bool(args.metrics_out or args.trace_out or args.profile)
+    recorder = None
+    telemetry_dir = None
+    if telemetry_on:
+        recorder = obs.enable(obs.TelemetryRecorder(
+            process="main",
+            profile=bool(args.profile),
+            profile_top=args.profile_top,
+        ))
+        if jobs > 1:
+            telemetry_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
 
     store = None
     if args.checkpoint_dir:
@@ -224,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
             chaos_fail=tuple(args.chaos_fail),
             chaos_kill=tuple(args.chaos_kill),
             verbose=args.verbose,
+            telemetry_dir=telemetry_dir,
+            profile=bool(args.profile),
         )
         logger.info("fanning %d experiment(s) out across %d worker(s)", len(ids), jobs)
         try:
@@ -248,12 +302,25 @@ def main(argv: list[str] | None = None) -> int:
             on_outcome=report_outcome,
         )
 
+    # Fold the parent's recorder and every worker shard into the final
+    # telemetry documents before any reporting happens.
+    metrics_doc = None
+    trace_doc = None
+    profiles: list = []
+    if telemetry_on and recorder is not None:
+        shard_docs = [recorder.snapshot_doc()]
+        if telemetry_dir is not None:
+            shard_docs.extend(obs.load_shards(telemetry_dir))
+            shutil.rmtree(telemetry_dir, ignore_errors=True)
+        registry, events, profiles, processes = obs.merge_shards(shard_docs)
+        metrics_doc = obs.metrics_document(registry, processes)
+        trace_doc = obs.trace_document(events)
+        obs.disable()
+
     report_write_failed = False
     if args.out:
         results = report.results
         if args.format == "json":
-            import json
-
             payload = json.dumps([r.to_dict() for r in results], indent=2)
         elif args.format == "csv":
             payload = "".join(r.to_csv() for r in results)
@@ -270,12 +337,48 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"report written to {args.out}")
 
+    for path, payload, label in (
+        (args.metrics_out,
+         json.dumps(metrics_doc, indent=2, sort_keys=True) + "\n"
+         if metrics_doc is not None else None, "metrics"),
+        (args.trace_out,
+         json.dumps(trace_doc) + "\n" if trace_doc is not None else None,
+         "trace"),
+        (args.profile,
+         obs.profile_report(profiles, args.profile_top) if telemetry_on else None,
+         "profile"),
+    ):
+        if not path or payload is None:
+            continue
+        try:
+            _atomic_write_text(path, payload)
+        except OSError as exc:
+            report_write_failed = True
+            logger.error("could not write %s to %s: %s", label, path, exc)
+            print(f"[{label} NOT written to {path}: {exc}]")
+        else:
+            print(f"{label} written to {path}")
+
     print(report.summary_text())
+    if metrics_doc is not None:
+        print(obs.summary_table(metrics_doc))
     if store is not None:
-        stats = store.stats
+        # hit/miss/claim counters for the -v summary line: sourced from
+        # the merged metrics registry when telemetry is on (it already
+        # folds every worker's counters in), else from the store stats.
+        counts = store.stats.as_dict()
+        if metrics_doc is not None:
+            merged = metrics_doc["counters"]
+            counts = {
+                name: int(merged.get(f"checkpoint.{name}", 0))
+                for name in counts
+            }
         print(
-            f"[checkpoints: {stats.hits} hits, {stats.misses} misses, "
-            f"{stats.stores} stored, {stats.corrupt} corrupt]"
+            f"[checkpoints: {counts['hits']} hits, {counts['misses']} misses, "
+            f"{counts['stores']} stored, {counts['corrupt']} corrupt | "
+            f"claims: {counts['claims_won']} won, "
+            f"{counts['claims_waited']} waited, "
+            f"{counts['claims_broken']} broken]"
         )
     for failure in report.failures:
         logger.debug("traceback for %s:\n%s", failure.experiment_id, failure.traceback)

@@ -17,6 +17,7 @@ recomputation (see the checkpoint module's failure philosophy).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.arch.trace import BENCHMARKS, InstructionTrace, generate_trace
 from repro.circuits.alu import Alu, build_alu
 from repro.circuits.ex_stage import ExStage, build_ex_stage
@@ -82,9 +83,13 @@ class ExperimentContext:
         key = ("stage", seed, corner, buffered, self.config.width)
         if key not in self._chips:
             stage = self.stage(corner, buffered)
-            self._chips[key] = self._checkpointed(
-                "chip", key, lambda: stage.fabricate(seed=seed)
-            )
+
+            def compute() -> ChipSample:
+                with obs.span("runner.chip", seed=seed, corner=corner):
+                    obs.inc("runner.chips_computed")
+                    return stage.fabricate(seed=seed)
+
+            self._chips[key] = self._checkpointed("chip", key, compute)
         return self._chips[key]
 
     def alu_chip(self, seed: int, corner: str) -> ChipSample:
@@ -92,18 +97,24 @@ class ExperimentContext:
         key = ("alu", seed, corner, self.config.width)
         if key not in self._chips:
             alu, _ = self.bare_alu(corner)
-            self._chips[key] = self._checkpointed(
-                "chip", key,
-                lambda: fabricate_chip(alu.netlist, self.corner(corner), seed),
-            )
+
+            def compute() -> ChipSample:
+                with obs.span("runner.alu_chip", seed=seed, corner=corner):
+                    obs.inc("runner.chips_computed")
+                    return fabricate_chip(alu.netlist, self.corner(corner), seed)
+
+            self._chips[key] = self._checkpointed("chip", key, compute)
         return self._chips[key]
 
     def trace(self, benchmark: str) -> InstructionTrace:
         key = (benchmark, self.config.cycles, self.config.width)
         if key not in self._traces:
-            self._traces[key] = generate_trace(
-                BENCHMARKS[benchmark], self.config.cycles, width=self.config.width
-            )
+            with obs.span("runner.trace", benchmark=benchmark):
+                obs.inc("runner.trace_generated")
+                self._traces[key] = generate_trace(
+                    BENCHMARKS[benchmark], self.config.cycles,
+                    width=self.config.width,
+                )
         return self._traces[key]
 
     def error_trace(
@@ -116,11 +127,16 @@ class ExperimentContext:
         key = (benchmark, chip_seed, corner, buffered, self.config.cycles, self.config.width)
         if key not in self._error_traces:
             def compute() -> ErrorTrace:
-                stage = self.stage(corner, buffered)
-                chip = self.chip(chip_seed, corner, buffered)
-                return build_error_trace(
-                    stage, chip, self.trace(benchmark), chunk=self.config.chunk
-                )
+                with obs.span(
+                    "runner.error_trace", benchmark=benchmark,
+                    chip_seed=chip_seed, corner=corner,
+                ):
+                    obs.inc("runner.error_traces_computed")
+                    stage = self.stage(corner, buffered)
+                    chip = self.chip(chip_seed, corner, buffered)
+                    return build_error_trace(
+                        stage, chip, self.trace(benchmark), chunk=self.config.chunk
+                    )
 
             self._error_traces[key] = self._checkpointed("etrace", key, compute)
         return self._error_traces[key]

@@ -1,0 +1,164 @@
+"""Experiment telemetry: metrics, phase tracing, and profiling hooks.
+
+The instrumented layers (``pv``, ``timing``, ``runtime``,
+``experiments``) call the module-level helpers below unconditionally;
+whether anything is recorded depends on the process-global recorder:
+
+* **Off (default).**  ``span()`` returns a shared no-op context manager
+  and ``inc``/``observe``/``gauge`` return after one ``None`` check —
+  instrumented code paths cost ~nothing, guarded by the overhead tests
+  in ``tests/test_obs.py``.
+* **On** (the CLI's ``--metrics-out`` / ``--trace-out`` / ``--profile``,
+  or :func:`enable` in tests).  A :class:`TelemetryRecorder` accumulates
+  counters/gauges/histograms, emits Chrome trace events per span, and —
+  with profiling on — captures ``cProfile`` stats for the slowest spans.
+
+Parallel runs give every worker process its own recorder
+(:func:`ensure_worker`) flushing to a per-process shard file
+(:func:`flush_worker`); :mod:`repro.obs.merge` folds the shards into one
+``metrics.json`` + ``trace.json`` deterministically.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    with obs.span("dta.cycle_timings", cycles=total):
+        ...
+    obs.inc("dta.evaluations")
+    obs.observe("worker.queue_wait_s", waited)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.merge import (
+    SCHEDULE_DEPENDENT_PREFIXES,
+    determinism_view,
+    load_shards,
+    merge_shards,
+    metrics_document,
+    profile_report,
+    summary_table,
+    trace_document,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, labelled, quantile
+from repro.obs.recorder import NULL_SPAN, NullSpan, Span, TelemetryRecorder
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "SCHEDULE_DEPENDENT_PREFIXES",
+    "Span",
+    "TelemetryRecorder",
+    "determinism_view",
+    "disable",
+    "enable",
+    "enabled",
+    "ensure_worker",
+    "flush_worker",
+    "gauge",
+    "get_recorder",
+    "inc",
+    "labelled",
+    "load_shards",
+    "merge_shards",
+    "metrics_document",
+    "observe",
+    "profile_report",
+    "quantile",
+    "span",
+    "summary_table",
+    "trace_document",
+]
+
+#: the process-global recorder; ``None`` means telemetry is off.
+_recorder: TelemetryRecorder | None = None
+
+
+def enable(recorder: TelemetryRecorder) -> TelemetryRecorder:
+    """Install ``recorder`` as this process's telemetry sink."""
+    global _recorder
+    _recorder = recorder
+    return recorder
+
+
+def disable() -> None:
+    """Turn telemetry off (the default state)."""
+    global _recorder
+    _recorder = None
+
+
+def enabled() -> bool:
+    return _recorder is not None
+
+
+def get_recorder() -> TelemetryRecorder | None:
+    return _recorder
+
+
+# ----------------------------------------------------------------------
+# hot-path helpers: one global read + None check when telemetry is off
+# ----------------------------------------------------------------------
+
+def span(name: str, **attrs: Any):
+    """A phase-tracing context manager (no-op while telemetry is off)."""
+    recorder = _recorder
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, attrs)
+
+
+def inc(name: str, value: float = 1, **labels: Any) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.metrics.inc(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.metrics.observe(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.metrics.gauge(name, value, **labels)
+
+
+# ----------------------------------------------------------------------
+# worker-process lifecycle (used by repro.runtime.parallel)
+# ----------------------------------------------------------------------
+
+def ensure_worker(
+    shard_dir: str | None, process: str = "worker", profile: bool = False
+) -> TelemetryRecorder | None:
+    """Give a worker process its own recorder writing to ``shard_dir``.
+
+    Fork workers inherit the parent's recorder object; recording into it
+    would double-count the parent's history into the worker's shard, so
+    a recorder whose pid is not ours is replaced with a fresh one.  With
+    ``shard_dir=None`` (telemetry off) any inherited recorder is
+    discarded instead.
+    """
+    global _recorder
+    if shard_dir is None:
+        if _recorder is not None and _recorder.pid != os.getpid():
+            _recorder = None
+        return None
+    recorder = _recorder
+    if recorder is not None and recorder.pid == os.getpid():
+        return recorder
+    return enable(TelemetryRecorder(
+        process=process, profile=profile, shard_dir=shard_dir
+    ))
+
+
+def flush_worker() -> None:
+    """Rewrite the current worker's shard file (idempotent, never raises)."""
+    recorder = _recorder
+    if recorder is not None and recorder.shard_dir is not None:
+        recorder.flush()

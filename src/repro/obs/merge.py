@@ -1,0 +1,160 @@
+"""Deterministic shard merging and telemetry document rendering.
+
+A telemetry run produces one in-memory recorder in the parent plus zero
+or more ``shard-<pid>-<tag>.json`` files written by workers.  This
+module folds them into the two artefacts the CLI emits:
+
+* ``metrics.json`` — merged counters/gauges/histogram summaries, keys
+  sorted, values rounded; identical regardless of the order shards are
+  merged in (counters add, gauges max, histogram samples re-sort).
+* ``trace.json`` — a Chrome trace-event document (``traceEvents`` +
+  ``displayTimeUnit``) that loads in ``chrome://tracing`` / Perfetto,
+  events sorted on a stable key.
+
+:func:`determinism_view` defines which part of ``metrics.json`` is
+*schedule-invariant*: the same experiment set must produce the same
+view at ``--jobs 1`` and ``--jobs 4``.  Timing histograms, gauges, and
+counter families that legitimately depend on scheduling (checkpoint
+hit/miss patterns, claim traffic, per-worker queue stats, STA reruns in
+per-process stage builds) are excluded; domain counters (experiment
+outcomes, artefact computations, DTA evaluations) are kept.  The CI
+determinism test and ``benchmarks/check_regression.py`` both consume
+this view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+#: counter/gauge families that legitimately differ between schedules
+#: (``--jobs 1`` vs ``--jobs N``) and are therefore excluded from the
+#: determinism view.  ``span.`` is excluded because worker/prefetch
+#: spans only exist in parallel runs.
+SCHEDULE_DEPENDENT_PREFIXES = (
+    "checkpoint.",
+    "worker.",
+    "prefetch.",
+    "parallel.",
+    "span.",
+    "sta.",
+    "runner.trace",
+    "cli.",
+)
+
+
+def load_shards(directory: str | Path) -> list[dict[str, Any]]:
+    """All shard documents under ``directory``, in sorted filename order.
+
+    Unreadable or truncated shards (a worker died mid-write before its
+    atomic replace) are skipped — partial telemetry beats no report.
+    """
+    docs: list[dict[str, Any]] = []
+    for path in sorted(Path(directory).glob("shard-*.json")):
+        try:
+            docs.append(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            continue
+    return docs
+
+
+def merge_shards(
+    docs: Iterable[dict[str, Any]],
+) -> tuple[MetricsRegistry, list[dict[str, Any]], list[dict[str, Any]],
+           list[dict[str, Any]]]:
+    """Fold shard documents into (registry, trace events, profiles, processes)."""
+    registry = MetricsRegistry()
+    events: list[dict[str, Any]] = []
+    profiles: list[dict[str, Any]] = []
+    processes: list[dict[str, Any]] = []
+    for doc in docs:
+        registry.merge(doc.get("metrics", {}))
+        events.extend(doc.get("trace_events", []))
+        profiles.extend(doc.get("profiles", []))
+        processes.append({
+            "pid": doc.get("pid", 0),
+            "process": doc.get("process", "unknown"),
+        })
+    events.sort(key=lambda e: (e.get("ts", 0), e.get("pid", 0),
+                               e.get("tid", 0), e.get("name", "")))
+    profiles.sort(key=lambda p: (-p.get("duration_s", 0.0), p.get("span", "")))
+    processes.sort(key=lambda p: (p["process"], p["pid"]))
+    return registry, events, profiles, processes
+
+
+def metrics_document(
+    registry: MetricsRegistry, processes: list[dict[str, Any]] | None = None
+) -> dict[str, Any]:
+    """The ``metrics.json`` payload: summaries only, keys sorted."""
+    snapshot = registry.snapshot(include_values=False)
+    return {
+        "version": snapshot["version"],
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "processes": processes or [],
+    }
+
+
+def trace_document(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """A Chrome trace-event JSON document (Perfetto-loadable)."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def determinism_view(metrics_doc: dict[str, Any]) -> dict[str, Any]:
+    """The schedule-invariant slice of a metrics document.
+
+    Drops every histogram and gauge (they carry timing values) and every
+    counter in a :data:`SCHEDULE_DEPENDENT_PREFIXES` family; what is left
+    must be bit-identical between ``--jobs 1`` and ``--jobs N`` runs of
+    the same experiment set.
+    """
+    counters = {
+        name: value
+        for name, value in metrics_doc.get("counters", {}).items()
+        if not name.startswith(SCHEDULE_DEPENDENT_PREFIXES)
+    }
+    return {"counters": counters}
+
+
+def summary_table(metrics_doc: dict[str, Any], top: int = 12) -> str:
+    """Human terminal summary: spans ranked by total wall-clock."""
+    rows = []
+    for name, entry in metrics_doc.get("histograms", {}).items():
+        if not (name.startswith("span.") and name.endswith(".s")):
+            continue
+        rows.append((entry["sum"], name[len("span."):-len(".s")], entry))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    lines = ["== telemetry: spans by total wall-clock =="]
+    if not rows:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for _, name, _ in rows[:top])
+    header = (f"  {'span'.ljust(width)}  {'count':>6}  {'total_s':>9}"
+              f"  {'mean_s':>9}  {'p95_s':>9}")
+    lines.append(header)
+    for total, name, entry in rows[:top]:
+        lines.append(
+            f"  {name.ljust(width)}  {entry['count']:>6d}  {total:>9.3f}"
+            f"  {entry['mean']:>9.4f}  {entry['p95']:>9.4f}"
+        )
+    if len(rows) > top:
+        lines.append(f"  ... and {len(rows) - top} more span(s)")
+    return "\n".join(lines)
+
+
+def profile_report(profiles: list[dict[str, Any]], top: int = 5) -> str:
+    """Plain-text report of the slowest profiled spans."""
+    if not profiles:
+        return "no spans were profiled (was --profile set and any span run?)\n"
+    sections = []
+    for rank, entry in enumerate(profiles[:top], start=1):
+        sections.append(
+            f"== profile {rank}/{min(top, len(profiles))}: "
+            f"{entry['span']} ({entry['duration_s']:.3f}s) ==\n"
+            f"{entry['stats']}"
+        )
+    return "\n".join(sections)

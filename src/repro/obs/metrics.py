@@ -1,0 +1,163 @@
+"""Counters, gauges, and histograms for the experiment telemetry.
+
+The registry is deliberately tiny and dependency-free: metric names are
+plain strings (optionally carrying ``{key=value}`` labels rendered by
+:func:`labelled`), counters and gauges are dict entries, and histograms
+keep their raw observations so shard merging is exact — a merged
+quantile is computed over the union of samples, not approximated from
+per-shard summaries.
+
+Merge semantics (the shard protocol relies on these being order-free):
+
+* counters **add**,
+* gauges take the **max** (they record high-water marks),
+* histograms **concatenate** their samples (and re-sort on snapshot).
+
+Everything serialises to plain JSON through :meth:`MetricsRegistry.snapshot`
+and reloads through :meth:`MetricsRegistry.merge`, so a worker's shard
+file round-trips losslessly into the parent's registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: bump when the snapshot layout changes; shards with another version
+#: are still merged best-effort (unknown fields are ignored).
+METRICS_VERSION = 1
+
+#: histogram memory bound: past this many samples the reservoir is
+#: deterministically thinned (every other sample dropped), which keeps
+#: quantiles representative without unbounded growth.
+MAX_HISTOGRAM_SAMPLES = 65_536
+
+
+def labelled(name: str, **labels: Any) -> str:
+    """Canonical labelled metric name: ``name{a=1,b=x}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample list."""
+    if not sorted_values:
+        raise ValueError("quantile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+class Histogram:
+    """A sample-keeping histogram with exact quantiles."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[float] | None = None) -> None:
+        self.values: list[float] = list(values) if values else []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+        if len(self.values) > MAX_HISTOGRAM_SAMPLES:
+            # deterministic thinning: keep every other sample
+            self.values = self.values[::2]
+
+    def extend(self, values: list[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        return quantile(sorted(self.values), q)
+
+    def summary(self) -> dict[str, float]:
+        """JSON-able summary statistics (what ``metrics.json`` carries)."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "sum": round(sum(ordered), 9),
+            "min": round(ordered[0], 9),
+            "max": round(ordered[-1], 9),
+            "mean": round(sum(ordered) / len(ordered), 9),
+            "p50": round(quantile(ordered, 0.50), 9),
+            "p90": round(quantile(ordered, 0.90), 9),
+            "p95": round(quantile(ordered, 0.95), 9),
+            "p99": round(quantile(ordered, 0.99), 9),
+        }
+
+
+class MetricsRegistry:
+    """Process-local metric store; one per recorder."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = labelled(name, **labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = labelled(name, **labels)
+        self.gauges[key] = max(self.gauges.get(key, value), value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = labelled(name, **labels)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, include_values: bool = False) -> dict[str, Any]:
+        """JSON-able state; ``include_values`` keeps raw histogram samples
+        (required for lossless shard merging)."""
+        histograms: dict[str, Any] = {}
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            entry = histogram.summary()
+            if include_values:
+                entry["values"] = list(histogram.values)
+            histograms[name] = entry
+        return {
+            "version": METRICS_VERSION,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: round(self.gauges[k], 9) for k in sorted(self.gauges)},
+            "histograms": histograms,
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's snapshot in (order-independent)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = max(self.gauges.get(name, value), value)
+        for name, entry in snapshot.get("histograms", {}).items():
+            values = entry.get("values")
+            if values is None:
+                continue  # summary-only snapshot: samples were dropped
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.extend(values)

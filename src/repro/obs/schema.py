@@ -1,0 +1,98 @@
+"""Dependency-free validation of telemetry JSON against checked-in schemas.
+
+The CI telemetry job validates ``metrics.json`` and ``trace.json``
+against the schemas under ``benchmarks/schemas/`` before uploading them
+as artifacts.  The container and CI images are not guaranteed to have
+``jsonschema``, so this implements the small JSON-Schema subset those
+schemas use: ``type`` (single or list), ``required``, ``properties``,
+``additionalProperties`` (bool or schema), ``items``, ``enum``,
+``minimum``, ``minItems``.  Anything outside that subset in a schema is
+a programming error and raises immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_SUPPORTED_KEYS = {
+    "type", "required", "properties", "additionalProperties", "items",
+    "enum", "minimum", "minItems", "description", "$schema", "title",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance: Any, type_name: str) -> bool:
+    expected = _TYPES[type_name]
+    if type_name in ("number", "integer") and isinstance(instance, bool):
+        return False  # bool is an int in Python; JSON Schema says it is not
+    return isinstance(instance, expected)
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> list[str]:
+    """All violations of ``schema`` by ``instance`` (empty = valid)."""
+    unknown = set(schema) - _SUPPORTED_KEYS
+    if unknown:
+        raise ValueError(f"unsupported schema keys at {path}: {sorted(unknown)}")
+    errors: list[str] = []
+
+    type_spec = schema.get("type")
+    if type_spec is not None:
+        names = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below would just cascade
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance!r} below minimum {schema['minimum']}")
+
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name, value in instance.items():
+            child_path = f"{path}.{name}"
+            if name in properties:
+                errors.extend(validate(value, properties[name], child_path))
+            elif isinstance(additional, dict):
+                errors.extend(validate(value, additional, child_path))
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} item(s), need >= {schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                errors.extend(validate(value, items, f"{path}[{index}]"))
+
+    return errors
+
+
+def check(instance: Any, schema: dict[str, Any], label: str = "document") -> None:
+    """Raise ``ValueError`` listing every violation (or return silently)."""
+    errors = validate(instance, schema)
+    if errors:
+        shown = "\n  ".join(errors[:20])
+        more = f"\n  ... and {len(errors) - 20} more" if len(errors) > 20 else ""
+        raise ValueError(f"{label} fails schema validation:\n  {shown}{more}")

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.gates.celllib import CELL_LIBRARY
 from repro.gates.netlist import Netlist
 from repro.pv.delaymodel import VTH_NOMINAL, Corner, delay_factor, nominal_gate_delays
@@ -97,6 +98,26 @@ def fabricate_chip(
     """
     if not 0.0 <= affected_fraction <= 1.0:
         raise ValueError("affected_fraction must be within [0, 1]")
+    with obs.span(
+        "pv.fabricate_chip", netlist=netlist.name, corner=corner.name, seed=seed
+    ):
+        obs.inc("pv.chips_fabricated")
+        return _fabricate_chip(
+            netlist, corner, seed, params, affected_fraction,
+            affected_vth_min, affected_vth_max, dbuf_sigma_factor,
+        )
+
+
+def _fabricate_chip(
+    netlist: Netlist,
+    corner: Corner,
+    seed: int,
+    params: VariusParams,
+    affected_fraction: float,
+    affected_vth_min: float,
+    affected_vth_max: float,
+    dbuf_sigma_factor: float,
+) -> ChipSample:
     rng = np.random.default_rng(seed)
     num_nodes = netlist.num_nodes
     delta_vth = sample_delta_vth(num_nodes, params, rng)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gates.celllib import CELL_LIBRARY, COMBINATIONAL_KINDS, GateKind
 from repro.pv.delaymodel import VTH_NOMINAL, Corner, delay_factor
 from repro.pv.varius import DEFAULT_PARAMS, VariusParams
@@ -54,26 +55,30 @@ def characterize_gates(
     """
     if num_samples < 2:
         raise ValueError("num_samples must be at least 2")
-    rng = np.random.default_rng(seed)
-    if kinds is None:
-        kinds = tuple(sorted(COMBINATIONAL_KINDS))
+    with obs.span(
+        "pv.characterize_gates", corner=corner.name, samples=num_samples
+    ):
+        obs.inc("pv.characterizations")
+        rng = np.random.default_rng(seed)
+        if kinds is None:
+            kinds = tuple(sorted(COMBINATIONAL_KINDS))
 
-    delta_vth = rng.normal(0.0, params.sigma_total, size=num_samples)
-    factors = np.asarray(delay_factor(corner.vdd, VTH_NOMINAL + delta_vth))
-    nominal_factor = float(delay_factor(corner.vdd, VTH_NOMINAL))
+        delta_vth = rng.normal(0.0, params.sigma_total, size=num_samples)
+        factors = np.asarray(delay_factor(corner.vdd, VTH_NOMINAL + delta_vth))
+        nominal_factor = float(delay_factor(corner.vdd, VTH_NOMINAL))
 
-    result: dict[GateKind, DelayDistribution] = {}
-    for kind in kinds:
-        coeff = CELL_LIBRARY[kind].delay_coeff
-        delays = coeff * factors
-        nominal = coeff * nominal_factor
-        result[kind] = DelayDistribution(
-            kind=kind,
-            corner=corner,
-            mean=float(delays.mean()),
-            std=float(delays.std()),
-            p01=float(np.percentile(delays, 1)),
-            p99=float(np.percentile(delays, 99)),
-            worst_ratio=float(delays.max() / nominal) if nominal else 0.0,
-        )
-    return result
+        result: dict[GateKind, DelayDistribution] = {}
+        for kind in kinds:
+            coeff = CELL_LIBRARY[kind].delay_coeff
+            delays = coeff * factors
+            nominal = coeff * nominal_factor
+            result[kind] = DelayDistribution(
+                kind=kind,
+                corner=corner,
+                mean=float(delays.mean()),
+                std=float(delays.std()),
+                p01=float(np.percentile(delays, 1)),
+                p99=float(np.percentile(delays, 99)),
+                worst_ratio=float(delays.max() / nominal) if nominal else 0.0,
+            )
+        return result

@@ -30,6 +30,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.log import configure as configure_logging
 from repro.runtime.log import get_logger
+from repro.runtime.log import reset as reset_logging
 from repro.runtime.parallel import (
     WorkerSpec,
     default_jobs,
@@ -52,6 +53,7 @@ __all__ = [
     "default_jobs",
     "get_logger",
     "prefetch_artefacts",
+    "reset_logging",
     "run_fleet",
     "run_many",
     "run_many_parallel",

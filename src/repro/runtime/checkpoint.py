@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.runtime.log import get_logger
 
 logger = get_logger("checkpoint")
@@ -153,9 +154,12 @@ class CheckpointStore:
             self._atomic_write(self.path(key), header + payload)
         except Exception:
             self.stats.write_errors += 1
+            obs.inc("checkpoint.write_errors")
             logger.warning("checkpoint save failed for %s", key, exc_info=True)
             return False
         self.stats.stores += 1
+        obs.inc("checkpoint.stores")
+        obs.inc("checkpoint.bytes_written", len(payload))
         logger.debug("stored %s (%d bytes)", key, len(payload))
         return True
 
@@ -164,6 +168,7 @@ class CheckpointStore:
         path = self.path(key)
         if not self.resume or not path.exists():
             self.stats.misses += 1
+            obs.inc("checkpoint.misses")
             return None
         try:
             blob = path.read_bytes()
@@ -177,6 +182,7 @@ class CheckpointStore:
                     key, version.decode("ascii", "replace"), FORMAT_VERSION,
                 )
                 self.stats.misses += 1
+                obs.inc("checkpoint.misses")
                 return None
             if hashlib.sha256(payload).hexdigest().encode() != checksum:
                 raise ValueError("checksum mismatch")
@@ -184,9 +190,13 @@ class CheckpointStore:
         except Exception as exc:
             self.stats.corrupt += 1
             self.stats.misses += 1
+            obs.inc("checkpoint.corrupt")
+            obs.inc("checkpoint.misses")
             logger.warning("corrupt checkpoint %s (%s); recomputing", key, exc)
             return None
         self.stats.hits += 1
+        obs.inc("checkpoint.hits")
+        obs.inc("checkpoint.bytes_read", len(blob))
         logger.debug("hit %s", key)
         return obj
 
@@ -228,6 +238,7 @@ class CheckpointStore:
                 return False  # released between open and stat; caller re-loads
             if age > self.claim_stale_s:
                 self.stats.claims_broken += 1
+                obs.inc("checkpoint.claims_broken")
                 logger.warning("breaking stale claim on %s (%.0fs old)", key, age)
                 try:
                     os.unlink(path)
@@ -239,6 +250,7 @@ class CheckpointStore:
         with os.fdopen(fd, "w") as handle:
             handle.write(f"{os.getpid()}\n")
         self.stats.claims_won += 1
+        obs.inc("checkpoint.claims_won")
         return True
 
     def release(self, key: str) -> None:
@@ -269,6 +281,7 @@ class CheckpointStore:
             if not waited:
                 waited = True
                 self.stats.claims_waited += 1
+                obs.inc("checkpoint.claims_waited")
                 logger.debug("waiting on claim for %s", key)
             if time.monotonic() >= deadline:
                 logger.warning("claim wait on %s expired; computing locally", key)

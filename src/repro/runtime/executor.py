@@ -23,6 +23,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.experiments.report import ExperimentResult
 from repro.runtime.checkpoint import config_fingerprint
 from repro.runtime.log import get_logger
@@ -154,36 +155,55 @@ def run_supervised(
     start = time.monotonic()
     failure: FailureRecord | None = None
     attempts = 0
-    for attempt in range(1, retries + 2):
-        attempts = attempt
-        try:
-            result = _call_with_timeout(fn, ctx, timeout_s)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except BaseException as exc:
-            elapsed = time.monotonic() - start
-            failure = FailureRecord(
-                experiment_id=experiment_id,
-                kind="timeout" if isinstance(exc, ExperimentTimeout) else "exception",
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback="".join(
-                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
-                ),
-                config_fingerprint=fingerprint,
-                elapsed_s=elapsed,
-                attempts=attempt,
-            )
-            logger.warning(
-                "%s failed (attempt %d/%d): %s: %s",
-                experiment_id, attempt, retries + 1,
-                failure.error_type, failure.message,
-            )
-        else:
-            elapsed = time.monotonic() - start
-            logger.info("%s ok in %.1fs (attempt %d)", experiment_id, elapsed, attempt)
-            return RunOutcome(experiment_id, result, None, elapsed, attempts=attempt)
+    with obs.span("experiment.run", experiment=experiment_id):
+        for attempt in range(1, retries + 2):
+            attempts = attempt
+            obs.inc("experiment.attempts")
+            if attempt > 1:
+                obs.inc("experiment.retries")
+            try:
+                result = _call_with_timeout(fn, ctx, timeout_s)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                elapsed = time.monotonic() - start
+                kind = "timeout" if isinstance(exc, ExperimentTimeout) else "exception"
+                obs.inc("experiment.timeouts" if kind == "timeout"
+                        else "experiment.errors")
+                failure = FailureRecord(
+                    experiment_id=experiment_id,
+                    kind=kind,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback="".join(
+                        traceback_module.format_exception(
+                            type(exc), exc, exc.__traceback__
+                        )
+                    ),
+                    config_fingerprint=fingerprint,
+                    elapsed_s=elapsed,
+                    attempts=attempt,
+                )
+                logger.warning(
+                    "%s failed (attempt %d/%d): %s: %s",
+                    experiment_id, attempt, retries + 1,
+                    failure.error_type, failure.message,
+                )
+            else:
+                elapsed = time.monotonic() - start
+                obs.inc("experiment.ok")
+                obs.inc("experiment.outcome", experiment=experiment_id, status="ok")
+                obs.observe("experiment.duration_s", elapsed)
+                logger.info(
+                    "%s ok in %.1fs (attempt %d)", experiment_id, elapsed, attempt
+                )
+                return RunOutcome(
+                    experiment_id, result, None, elapsed, attempts=attempt
+                )
     assert failure is not None
+    obs.inc("experiment.failed")
+    obs.inc("experiment.outcome", experiment=experiment_id, status=failure.kind)
+    obs.observe("experiment.duration_s", time.monotonic() - start)
     return RunOutcome(
         experiment_id, None, failure, time.monotonic() - start, attempts=attempts
     )

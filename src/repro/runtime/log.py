@@ -36,13 +36,17 @@ def configure(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logg
     ``verbosity`` 0 logs warnings and errors only (quiet by default so
     figure output stays readable), 1 adds INFO (one line per supervised
     run / checkpoint event), 2 adds DEBUG (fingerprints, byte counts).
-    Idempotent: calling again replaces the previous handler, so tests
-    and repeated ``main()`` invocations never double-log.
+    Idempotent: calling again replaces — and closes — the previous
+    handler, so tests and repeated ``main()`` invocations never
+    double-log, and a handler bound to an earlier call's ``stream`` (a
+    capture buffer a long-lived test process has since torn down) can
+    never be written to again.
     """
     global _installed_handler
     logger = logging.getLogger(ROOT_LOGGER)
     if _installed_handler is not None:
         logger.removeHandler(_installed_handler)
+        _installed_handler.close()
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
     logger.addHandler(handler)
@@ -51,3 +55,21 @@ def configure(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logg
     logger.setLevel(level)
     _installed_handler = handler
     return logger
+
+
+def reset() -> None:
+    """Undo :func:`configure` entirely (for tests and embedders).
+
+    Removes and closes the installed handler and restores the runtime
+    root logger to its import-time state (propagating, level unset), so
+    a test that configured logging onto its own stream leaves nothing
+    behind for the next test to trip over.
+    """
+    global _installed_handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _installed_handler is not None:
+        logger.removeHandler(_installed_handler)
+        _installed_handler.close()
+        _installed_handler = None
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)

@@ -37,12 +37,14 @@ import dataclasses
 import multiprocessing
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.runtime.checkpoint import CheckpointStore, StoreStats, config_fingerprint
 from repro.runtime.executor import FailureRecord, RunOutcome, RunReport
 from repro.runtime.log import get_logger
@@ -85,6 +87,10 @@ class WorkerSpec:
     scratch_dir: str | None = None
     claim_stale_s: float = 600.0
     claim_poll_s: float = 0.05
+    #: parent-managed directory for telemetry shards (None = telemetry off)
+    telemetry_dir: str | None = None
+    #: capture per-span cProfile stats inside workers
+    profile: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -96,6 +102,7 @@ def _worker_context(spec: WorkerSpec):
     from repro.runtime.log import configure
 
     configure(spec.verbose)
+    obs.ensure_worker(spec.telemetry_dir, profile=spec.profile)
     store = None
     if spec.checkpoint_dir:
         store = CheckpointStore(
@@ -141,8 +148,21 @@ def _mark_started(spec: WorkerSpec, experiment_id: str) -> None:
         pass  # blame tracking degrades, containment still works
 
 
+def _record_queue_wait(submitted_ts: float | None) -> None:
+    """Submission-to-start latency (the queue-vs-run split in the trace).
+
+    Valid because fork workers share the parent's ``perf_counter``
+    timeline (CLOCK_MONOTONIC is system-wide on the platforms the fork
+    path runs on).
+    """
+    if submitted_ts is not None:
+        obs.observe(
+            "worker.queue_wait_s", max(0.0, time.perf_counter() - submitted_ts)
+        )
+
+
 def _run_experiment_task(
-    spec: WorkerSpec, experiment_id: str
+    spec: WorkerSpec, experiment_id: str, submitted_ts: float | None = None
 ) -> tuple[RunOutcome, dict[str, int] | None]:
     """Run one supervised experiment inside a worker process.
 
@@ -154,33 +174,44 @@ def _run_experiment_task(
 
     _mark_started(spec, experiment_id)
     ctx = _worker_context(spec)
-    resolve = _worker_resolve(spec)
-    outcome = run_supervised(
-        experiment_id,
-        resolve(experiment_id),
-        ctx,
-        retries=spec.retries,
-        timeout_s=spec.timeout_s,
-    )
-    stats = ctx.store.stats.as_dict() if ctx.store is not None else None
-    return outcome, stats
+    _record_queue_wait(submitted_ts)
+    try:
+        with obs.span("worker.task", experiment=experiment_id):
+            resolve = _worker_resolve(spec)
+            outcome = run_supervised(
+                experiment_id,
+                resolve(experiment_id),
+                ctx,
+                retries=spec.retries,
+                timeout_s=spec.timeout_s,
+            )
+        stats = ctx.store.stats.as_dict() if ctx.store is not None else None
+        return outcome, stats
+    finally:
+        obs.flush_worker()
 
 
 def _prefetch_task(
-    spec: WorkerSpec, kind: str, part: tuple
+    spec: WorkerSpec, kind: str, part: tuple, submitted_ts: float | None = None
 ) -> dict[str, int] | None:
     """Materialise one artefact into the shared store."""
     ctx = _worker_context(spec)
-    if kind == "chip":
-        chip_kind, seed, corner, buffered = part
-        if chip_kind == "alu":
-            ctx.alu_chip(seed, corner)
-        else:
-            ctx.chip(seed, corner, buffered)
-    else:
-        benchmark, chip_seed, corner, buffered = part
-        ctx.error_trace(benchmark, chip_seed, corner, buffered)
-    return ctx.store.stats.as_dict() if ctx.store is not None else None
+    _record_queue_wait(submitted_ts)
+    try:
+        with obs.span("worker.prefetch", kind=kind, part=repr(part)):
+            obs.inc("prefetch.tasks")
+            if kind == "chip":
+                chip_kind, seed, corner, buffered = part
+                if chip_kind == "alu":
+                    ctx.alu_chip(seed, corner)
+                else:
+                    ctx.chip(seed, corner, buffered)
+            else:
+                benchmark, chip_seed, corner, buffered = part
+                ctx.error_trace(benchmark, chip_seed, corner, buffered)
+        return ctx.store.stats.as_dict() if ctx.store is not None else None
+    finally:
+        obs.flush_worker()
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +221,7 @@ def _prefetch_task(
 def _crash_outcome(
     experiment_id: str, spec: WorkerSpec, message: str, attempts: int
 ) -> RunOutcome:
+    obs.inc("parallel.crashes")
     failure = FailureRecord(
         experiment_id=experiment_id,
         kind="crash",
@@ -224,11 +256,15 @@ def prefetch_artefacts(
             continue
         logger.info("prefetching %d %s artefact(s)", len(parts), phase)
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(parts)), mp_context=_mp_context()
-            ) as pool:
+            with obs.span("parallel.prefetch", phase=phase, parts=len(parts)), \
+                    ProcessPoolExecutor(
+                        max_workers=min(jobs, len(parts)),
+                        mp_context=_mp_context(),
+                    ) as pool:
                 futures = [
-                    pool.submit(_prefetch_task, spec, phase, part)
+                    pool.submit(
+                        _prefetch_task, spec, phase, part, time.perf_counter()
+                    )
                     for part in parts
                 ]
                 for future in as_completed(futures):
@@ -303,7 +339,9 @@ def run_many_parallel(
                 max_workers=min(jobs, len(batch)), mp_context=_mp_context()
             ) as pool:
                 futures = {
-                    pool.submit(_run_experiment_task, spec, eid): eid
+                    pool.submit(
+                        _run_experiment_task, spec, eid, time.perf_counter()
+                    ): eid
                     for eid in batch
                 }
                 for future in as_completed(futures):
@@ -402,12 +440,14 @@ def run_fleet(
     The convenience wrapper the CLI uses for ``--jobs > 1``.
     """
     jobs = jobs or default_jobs()
+    obs.gauge("parallel.jobs", jobs)
     stats = StoreStats()
     if prefetch:
         stats.merge(prefetch_artefacts(spec, experiment_ids, jobs))
-    report, run_stats = run_many_parallel(
-        experiment_ids, spec, jobs=jobs,
-        on_outcome=on_outcome, crash_retries=crash_retries,
-    )
+    with obs.span("parallel.fanout", experiments=len(experiment_ids), jobs=jobs):
+        report, run_stats = run_many_parallel(
+            experiment_ids, spec, jobs=jobs,
+            on_outcome=on_outcome, crash_retries=crash_retries,
+        )
     stats.merge(run_stats)
     return report, stats

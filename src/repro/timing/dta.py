@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.timing.levelize import LevelizedCircuit
 from repro.timing.logic_eval import evaluate_logic
 
@@ -142,26 +143,30 @@ def cycle_timings(
     if chunk < 1:
         raise ValueError("chunk must be positive")
 
-    out_ids = circuit.output_ids
-    t_late = np.empty(total - 1, dtype=np.float32)
-    t_early = np.empty(total - 1, dtype=np.float32)
-    toggles = np.empty(total - 1, dtype=np.int32)
+    with obs.span("dta.cycle_timings", cycles=total, chunk=chunk):
+        obs.inc("dta.evaluations")
+        obs.inc("dta.cycles_analyzed", total - 1)
 
-    start = 0
-    while start < total - 1:
-        stop = min(start + chunk, total - 1)
-        window = inputs[:, start : stop + 1]
-        values = evaluate_logic(circuit, window)
-        late, early = _propagate_arrivals(circuit, values, delays)
-        out_late = late[out_ids].max(axis=0)
-        out_early = early[out_ids].min(axis=0)
-        out_toggled = (values[out_ids, 1:] != values[out_ids, :-1]).sum(axis=0)
-        # No output transition: nothing arrives, so nothing is late and
-        # nothing violates hold.
-        t_late[start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
-        t_early[start:stop] = out_early
-        toggles[start:stop] = out_toggled
-        start = stop
+        out_ids = circuit.output_ids
+        t_late = np.empty(total - 1, dtype=np.float32)
+        t_early = np.empty(total - 1, dtype=np.float32)
+        toggles = np.empty(total - 1, dtype=np.int32)
+
+        start = 0
+        while start < total - 1:
+            stop = min(start + chunk, total - 1)
+            window = inputs[:, start : stop + 1]
+            values = evaluate_logic(circuit, window)
+            late, early = _propagate_arrivals(circuit, values, delays)
+            out_late = late[out_ids].max(axis=0)
+            out_early = early[out_ids].min(axis=0)
+            out_toggled = (values[out_ids, 1:] != values[out_ids, :-1]).sum(axis=0)
+            # No output transition: nothing arrives, so nothing is late and
+            # nothing violates hold.
+            t_late[start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
+            t_early[start:stop] = out_early
+            toggles[start:stop] = out_toggled
+            start = stop
 
     return CycleTimings(t_late=t_late, t_early=t_early, output_toggles=toggles)
 
@@ -177,6 +182,7 @@ def single_transition_arrivals(
     Returns ``(late, early, toggled)`` arrays over all nodes; used by the
     choke-path trace-back, which needs per-node (not aggregate) timing.
     """
+    obs.inc("dta.single_transitions")
     inputs = np.stack(
         [np.asarray(vector_prev, dtype=bool), np.asarray(vector_curr, dtype=bool)],
         axis=1,

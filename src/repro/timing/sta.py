@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.gates.netlist import Netlist
 
 
@@ -21,14 +22,16 @@ def arrival_times(netlist: Netlist, delays: np.ndarray, mode: str = "max") -> np
     """
     if mode not in ("max", "min"):
         raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
-    combine = max if mode == "max" else min
-    arrivals = np.zeros(netlist.num_nodes, dtype=np.float64)
-    for node_id, _kind, fanins in netlist.iter_nodes():
-        if fanins:
-            arrivals[node_id] = (
-                combine(arrivals[f] for f in fanins) + delays[node_id]
-            )
-    return arrivals
+    with obs.span("sta.arrival_times", netlist=netlist.name, mode=mode):
+        obs.inc("sta.analyses")
+        combine = max if mode == "max" else min
+        arrivals = np.zeros(netlist.num_nodes, dtype=np.float64)
+        for node_id, _kind, fanins in netlist.iter_nodes():
+            if fanins:
+                arrivals[node_id] = (
+                    combine(arrivals[f] for f in fanins) + delays[node_id]
+                )
+        return arrivals
 
 
 def output_arrivals(

@@ -341,3 +341,55 @@ def test_cli_out_includes_failure_summary(tmp_path, capsys):
     assert code == 1
     text = out_file.read_text()
     assert "tab3_ovh" in text and "run summary" in text
+
+
+# ----------------------------------------------------------------------
+# logging lifecycle: configure replaces handlers, reset restores defaults
+# ----------------------------------------------------------------------
+
+def test_configure_logging_replaces_and_closes_previous_handler():
+    import io
+    import logging
+
+    from repro.runtime.log import ROOT_LOGGER, configure, reset
+
+    try:
+        first_stream, second_stream = io.StringIO(), io.StringIO()
+        configure(verbosity=1, stream=first_stream)
+        logger = logging.getLogger(ROOT_LOGGER)
+        first_handler = logger.handlers[-1]
+
+        configure(verbosity=1, stream=second_stream)
+        # repeat configuration must not stack handlers...
+        assert first_handler not in logger.handlers
+        assert sum(h.stream is second_stream
+                   for h in logger.handlers
+                   if isinstance(h, logging.StreamHandler)) == 1
+        # ...and the replaced handler is closed, so a stale capture
+        # buffer can never be written to again
+        logger.info("goes to the second stream only")
+        assert first_stream.getvalue() == ""
+        assert "second stream" in second_stream.getvalue()
+    finally:
+        reset()
+
+
+def test_reset_logging_restores_import_time_state():
+    import io
+    import logging
+
+    from repro.runtime import reset_logging
+    from repro.runtime.log import ROOT_LOGGER, configure
+
+    stream = io.StringIO()
+    handler = configure(verbosity=2, stream=stream)
+    logger = logging.getLogger(ROOT_LOGGER)
+    assert not logger.propagate and logger.level == logging.DEBUG
+
+    reset_logging()
+    assert logger.propagate
+    assert logger.level == logging.NOTSET
+    assert all(h.stream is not stream for h in logger.handlers
+               if isinstance(h, logging.StreamHandler))
+    del handler
+    reset_logging()  # idempotent: a second reset is a no-op
