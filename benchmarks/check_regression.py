@@ -12,9 +12,18 @@ With ``--metrics`` it additionally diffs key telemetry counters from a
 ``metrics.json`` (written by ``--metrics-out``) against the baseline's
 ``metrics`` section: checkpoint hit-rate, span wall-clock totals, and
 the pinned domain counters.  Metric drift beyond the tolerance
-(default 20%) only **warns** — counters drift for legitimate reasons
-(config changes, new instrumentation) far more often than they signal
-a regression, so they inform the reviewer instead of gating the merge.
+(default 20%) only **warns** by default — counters drift for
+legitimate reasons (config changes, new instrumentation) far more
+often than they signal a regression, so they inform the reviewer
+instead of gating the merge.  With ``--strict`` any metric drifting
+beyond the tolerance fails the job, so CI can opt in per-job.
+
+With ``--ledger DIR`` the single-baseline compare is replaced by
+trajectory-aware gating: the newest run in the run ledger
+(``--ledger-dir``) is scored against its own trailing window with a
+median-absolute-deviation z-score (see ``repro.obs.trends``), so a
+metric has to leave its *own* recent distribution — not an arbitrary
+pinned value — to be flagged.  Ledger drift warns unless ``--strict``.
 
 Usage (mirrors the CI perf and telemetry jobs)::
 
@@ -23,6 +32,8 @@ Usage (mirrors the CI perf and telemetry jobs)::
         --baseline benchmarks/baseline.json --out BENCH_ci.json
     python benchmarks/check_regression.py \\
         --metrics metrics.json --out BENCH_telemetry.json
+    python benchmarks/check_regression.py \\
+        --ledger .ledger --out BENCH_ledger.json
 """
 
 from __future__ import annotations
@@ -30,6 +41,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
+
+
+def _ledger_modules():
+    """Import the ledger/trends modules, adding ``src`` if needed.
+
+    CI invokes this script without PYTHONPATH; the repository layout is
+    fixed, so fall back to ``<repo>/src`` next to ``benchmarks/``.
+    """
+    try:
+        from repro.obs import ledger, trends
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.obs import ledger, trends
+    return ledger, trends
 
 
 def load_bench_means(path: str) -> dict[str, float]:
@@ -95,13 +121,20 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics",
                         help="telemetry metrics.json (from --metrics-out) "
                         "to diff against the baseline's metrics section")
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="run-ledger directory: gate the newest run "
+                        "against its own trailing window (MAD z-score) "
+                        "instead of a pinned baseline")
     parser.add_argument("--baseline", default="benchmarks/baseline.json")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline file's tolerance")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (exit non-zero) on metric/ledger drift "
+                        "beyond tolerance instead of warning")
     parser.add_argument("--out", default="BENCH_ci.json")
     args = parser.parse_args(argv)
-    if not (args.bench or args.metrics):
-        parser.error("nothing to check: pass --bench and/or --metrics")
+    if not (args.bench or args.metrics or args.ledger):
+        parser.error("nothing to check: pass --bench, --metrics and/or --ledger")
 
     with open(args.baseline) as handle:
         baseline = json.load(handle)
@@ -148,6 +181,34 @@ def main(argv=None) -> int:
             observed, baseline_metrics, metrics_tolerance
         )
 
+    ledger_findings = []
+    ledger_warnings = []
+    if args.ledger:
+        ledger_mod, trends = _ledger_modules()
+        records = ledger_mod.RunLedger(args.ledger).records()
+        findings = trends.detect_drift(records)
+        for finding in findings:
+            if finding["drifted"]:
+                z = finding["z"]
+                z_text = f"{z:+.1f}" if z != float("inf") else "inf"
+                ledger_warnings.append(
+                    f"{finding['metric']}: {finding['value']:g} is {z_text} "
+                    f"MAD-sigma from its window median "
+                    f"{finding['baseline_median']:g} "
+                    f"(n={finding['window']}, threshold {finding['threshold']})"
+                )
+        ledger_findings = [
+            # strict JSON has no Infinity; a zero-MAD jump reports null z
+            {**f, "z": f["z"] if abs(f["z"]) != float("inf") else None}
+            for f in findings
+            if f["drifted"] or abs(f["z"]) > f["threshold"] / 2
+        ]
+        if not records:
+            print(f"ledger at {args.ledger} is empty; nothing to gate")
+        elif not findings:
+            print(f"ledger has {len(records)} run(s); "
+                  "need more history before drift gating kicks in")
+
     report = {
         "tolerance": tolerance,
         "bench_mean_s": {name: round(mean, 3) for name, mean in means.items()},
@@ -155,6 +216,9 @@ def main(argv=None) -> int:
         "scaling": scaling,
         "metrics": metrics_checked,
         "metrics_warnings": metrics_warnings,
+        "ledger": ledger_findings,
+        "ledger_warnings": ledger_warnings,
+        "strict": args.strict,
         "regressions": regressions,
     }
     with open(args.out, "w") as handle:
@@ -175,15 +239,19 @@ def main(argv=None) -> int:
         status = "DRIFTED" if drifted else "ok"
         print(f"  {name:<36s} {info['measured']!s:>12s} "
               f"(baseline {info['baseline']!s}, drift {drift_text}) {status}")
-    if metrics_warnings:
-        # counter drift informs, never gates: warn and keep the job green
-        print("TELEMETRY DRIFT (warning only):", file=sys.stderr)
-        for warning in metrics_warnings:
+    drift_warnings = metrics_warnings + ledger_warnings
+    if drift_warnings:
+        # Counter drift informs by default; --strict turns it into a gate.
+        mode = "gating" if args.strict else "warning only"
+        print(f"TELEMETRY DRIFT ({mode}):", file=sys.stderr)
+        for warning in drift_warnings:
             print(f"  {warning}", file=sys.stderr)
     if regressions:
         print("PERF REGRESSION:", file=sys.stderr)
         for regression in regressions:
             print(f"  {regression}", file=sys.stderr)
+        return 1
+    if args.strict and drift_warnings:
         return 1
     print("no perf regressions")
     return 0

@@ -6,10 +6,14 @@ written by ``python -m repro.experiments ... --metrics-out --trace-out``
 before uploading them as artifacts, so a schema drift fails loudly in
 CI instead of silently shipping malformed telemetry.
 
+With ``--ledger`` every parseable line of a run-ledger
+(``<dir>/ledger.jsonl``) is validated against
+``ledger.schema.json`` — one record schema applied per JSONL line.
+
 Usage (needs ``PYTHONPATH=src`` like the rest of the harness)::
 
     PYTHONPATH=src python benchmarks/validate_telemetry.py \\
-        --metrics metrics.json --trace trace.json
+        --metrics metrics.json --trace trace.json --ledger .ledger
 """
 
 from __future__ import annotations
@@ -31,13 +35,27 @@ def validate_file(document_path: str, schema_name: str) -> None:
     check(document, schema, label=document_path)
 
 
+def validate_ledger(ledger_dir: str) -> int:
+    """Validate every record of a run ledger; returns the record count."""
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(ledger_dir)
+    schema = json.loads((SCHEMA_DIR / "ledger.schema.json").read_text())
+    records = ledger.records()
+    for index, record in enumerate(records):
+        check(record, schema, label=f"{ledger.path}:record[{index}]")
+    return len(records)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--metrics", help="metrics.json to validate")
     parser.add_argument("--trace", help="trace.json to validate")
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="run-ledger directory whose records to validate")
     args = parser.parse_args(argv)
-    if not (args.metrics or args.trace):
-        parser.error("nothing to validate: pass --metrics and/or --trace")
+    if not (args.metrics or args.trace or args.ledger):
+        parser.error("nothing to validate: pass --metrics, --trace and/or --ledger")
 
     failures = 0
     for document_path, schema_name in (
@@ -53,6 +71,15 @@ def main(argv=None) -> int:
             failures += 1
         else:
             print(f"ok   {document_path} conforms to {schema_name}")
+    if args.ledger:
+        try:
+            count = validate_ledger(args.ledger)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {args.ledger}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {args.ledger}: {count} ledger record(s) conform "
+                  "to ledger.schema.json")
     return 1 if failures else 0
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.cslt import AssociativeCSLT, IndependentCSLT
 from repro.core.scheme_sim import ErrorTrace
-from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.base import Scheme, SchemeResult, record_result
 from repro.core.tags import DcsTag
 
 
@@ -121,7 +121,7 @@ class DcsScheme(Scheme):
 
         penalty = stalls * self.pipeline.stall_penalty
         penalty += flushes * self.pipeline.flush_penalty
-        return SchemeResult(
+        return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,
             base_cycles=len(trace),
@@ -139,4 +139,4 @@ class DcsScheme(Scheme):
                 "capacity_misses": capacity_misses,
                 "table_unique_insertions": table.unique_insertions,
             },
-        )
+        ))

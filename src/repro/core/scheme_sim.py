@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.arch.operands import operand_size_class, owm_flag
 from repro.arch.trace import InstructionTrace
 from repro.circuits.ex_stage import ExStage
@@ -92,6 +93,19 @@ def build_error_trace(
     owm = owm_flag(trace.a_values, trace.b_values, trace.width)
     size_a = operand_size_class(trace.a_values, trace.width)
     size_b = operand_size_class(trace.b_values, trace.width)
+
+    if obs.enabled():
+        obs.inc("etrace.built", benchmark=trace.name, corner=stage.corner.name)
+        obs.inc("etrace.cycles", len(err_class))
+        for kind, count in (
+            ("se_min", int((err_class == ERR_SE_MIN).sum())),
+            ("se_max", int((err_class == ERR_SE_MAX).sum())),
+            ("ce", int((err_class == ERR_CE).sum())),
+        ):
+            obs.inc("etrace.errors", count, kind=kind)
+        # OWM-triggered cycles at the EX stage: the operand-width
+        # mismatch signal DCS/Trident key their tags on.
+        obs.inc("choke.owm", int(owm[1:].sum()), stage="EX")
 
     return ErrorTrace(
         benchmark=trace.name,

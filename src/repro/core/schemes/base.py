@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.scheme_sim import ErrorTrace
 
 
@@ -54,6 +55,35 @@ class SchemeResult:
         if self.errors_total == 0:
             return 1.0
         return self.errors_predicted / self.errors_total
+
+
+def record_result(result: SchemeResult) -> SchemeResult:
+    """Emit a scheme run's domain counters and pass the result through.
+
+    Every scheme's ``simulate`` returns through here so the telemetry
+    layer sees ``scheme.errors`` / ``scheme.rollbacks`` /
+    ``scheme.replays`` (and friends) labelled by scheme name.  Free when
+    telemetry is off: one ``enabled()`` check, no allocation.  The
+    counters are schedule-dependent (serial runs memoise scheme sweeps
+    across experiments; parallel workers re-simulate per task), so the
+    ledger carries them in its ``domain`` section, outside the
+    determinism-view drift gate.
+    """
+    if not obs.enabled():
+        return result
+    scheme = result.scheme
+    obs.inc("scheme.runs", scheme=scheme)
+    obs.inc("scheme.errors", result.errors_total, scheme=scheme)
+    obs.inc("scheme.rollbacks", result.flushes, scheme=scheme)
+    obs.inc("scheme.replays", result.errors_missed, scheme=scheme)
+    obs.inc("scheme.stalls", result.stalls, scheme=scheme)
+    obs.inc("scheme.predicted", result.errors_predicted, scheme=scheme)
+    obs.inc("scheme.false_positives", result.false_positives, scheme=scheme)
+    obs.inc("scheme.penalty_cycles", result.penalty_cycles, scheme=scheme)
+    for key, value in result.extra.items():
+        if isinstance(value, int) and not isinstance(value, bool):
+            obs.inc(f"scheme.{key}", value, scheme=scheme)
+    return result
 
 
 class Scheme(abc.ABC):

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
-from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.base import Scheme, SchemeResult, record_result
 from repro.pv.delaymodel import VTH_NOMINAL, delay_factor
 
 
@@ -74,7 +74,7 @@ class HfgScheme(Scheme):
             trace.clock_period, worst * (1.0 + self.sensor_margin) * pvta
         )
         avoided = int(trace.max_err.sum())
-        return SchemeResult(
+        return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,
             base_cycles=len(trace),
@@ -84,4 +84,4 @@ class HfgScheme(Scheme):
             errors_predicted=avoided,  # all errors pre-empted by guardband
             errors_missed=0,
             extra={"guardband_ratio": period / trace.clock_period},
-        )
+        ))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
-from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.base import Scheme, SchemeResult, record_result
 
 
 class OcstScheme(Scheme):
@@ -99,7 +99,7 @@ class OcstScheme(Scheme):
         average_period = elapsed_ps / max(
             base + flushes * self.pipeline.flush_penalty, 1
         )
-        return SchemeResult(
+        return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,
             base_cycles=base,
@@ -110,4 +110,4 @@ class OcstScheme(Scheme):
             errors_missed=flushes,
             flushes=flushes,
             extra={"final_skew_ps": skew},
-        )
+        ))

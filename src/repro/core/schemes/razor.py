@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
-from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.base import Scheme, SchemeResult, record_result
 
 
 class RazorScheme(Scheme):
@@ -26,7 +26,7 @@ class RazorScheme(Scheme):
     def simulate(self, trace: ErrorTrace) -> SchemeResult:
         errors = int(trace.max_err.sum())
         penalty = errors * self.pipeline.flush_penalty
-        return SchemeResult(
+        return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,
             base_cycles=len(trace),
@@ -36,4 +36,4 @@ class RazorScheme(Scheme):
             errors_predicted=0,
             errors_missed=errors,
             flushes=errors,
-        )
+        ))

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
-from repro.core.schemes.base import Scheme, SchemeResult
+from repro.core.schemes.base import Scheme, SchemeResult, record_result
 from repro.core.tags import EX_STAGE, ErrorId
 from repro.core.trident.cet import ChokeErrorTable
 from repro.core.trident.tdc import TransitionDetectorCounter
@@ -100,7 +100,7 @@ class TridentScheme(Scheme):
         penalty = stalls * self.pipeline.stall_penalty
         penalty += flushes * self.pipeline.flush_penalty
         errors_total = predicted + flushes
-        return SchemeResult(
+        return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,
             base_cycles=len(trace),
@@ -119,4 +119,4 @@ class TridentScheme(Scheme):
                 "under_stalled": under_stalled,
                 "ce_count": int((err_class == ERR_CE).sum()),
             },
-        )
+        ))

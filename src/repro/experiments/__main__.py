@@ -24,6 +24,9 @@ Examples::
     python -m repro.experiments all --fast --chaos-fail fig3_9   # self-test
     python -m repro.experiments all --fast --jobs 4 \
         --metrics-out metrics.json --trace-out trace.json  # telemetry
+    python -m repro.experiments all --fast --ledger-dir .ledger  # history
+    python -m repro.experiments ledger list --ledger-dir .ledger
+    python -m repro.experiments ledger html --ledger-dir .ledger
 
 With ``--metrics-out`` / ``--trace-out`` / ``--profile`` the run is
 instrumented end to end (see :mod:`repro.obs`): counters, gauges and
@@ -31,6 +34,12 @@ span histograms merge across workers into ``metrics.json``, every phase
 becomes a Chrome trace event viewable in Perfetto (``trace.json``), and
 ``--profile`` captures cProfile stats for the slowest spans.  A summary
 table of the hottest spans prints at the end of the run.
+
+With ``--ledger-dir`` the merged telemetry of the run is additionally
+distilled into one append-only run-ledger record (git revision, config
+digest, determinism-view counters, per-experiment wall-clock, headline
+figure outputs); the ``ledger {record,list,diff,html}`` subcommands
+inspect that history and render the self-contained HTML dashboard.
 """
 
 from __future__ import annotations
@@ -163,6 +172,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="how many slowest spans keep their profiles (default: 5)",
     )
+    telemetry.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        help="append one run-ledger record here (see 'ledger --help')",
+    )
     return parser
 
 
@@ -187,6 +201,12 @@ def _atomic_write_text(path: str, payload: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "ledger":
+        from repro.experiments.ledger_cli import ledger_main
+
+        return ledger_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
@@ -226,7 +246,11 @@ def main(argv: list[str] | None = None) -> int:
 
     # Telemetry is on iff any telemetry flag was given; the recorder is
     # installed before the store so checkpoint counters are captured.
-    telemetry_on = bool(args.metrics_out or args.trace_out or args.profile)
+    # --ledger-dir counts: a ledger record is built from the merged
+    # metrics document, so recording implies instrumenting.
+    telemetry_on = bool(
+        args.metrics_out or args.trace_out or args.profile or args.ledger_dir
+    )
     recorder = None
     telemetry_dir = None
     if telemetry_on:
@@ -310,9 +334,15 @@ def main(argv: list[str] | None = None) -> int:
     if telemetry_on and recorder is not None:
         shard_docs = [recorder.snapshot_doc()]
         if telemetry_dir is not None:
-            shard_docs.extend(obs.load_shards(telemetry_dir))
+            worker_docs, stale = obs.scan_shards(telemetry_dir)
+            shard_docs.extend(worker_docs)
             shutil.rmtree(telemetry_dir, ignore_errors=True)
+        else:
+            stale = 0
         registry, events, profiles, processes = obs.merge_shards(shard_docs)
+        if stale:
+            registry.inc("obs.stale_shards_skipped", stale)
+            logger.warning("skipped %d stale telemetry shard(s)", stale)
         metrics_doc = obs.metrics_document(registry, processes)
         trace_doc = obs.trace_document(events)
         obs.disable()
@@ -358,6 +388,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{label} NOT written to {path}: {exc}]")
         else:
             print(f"{label} written to {path}")
+
+    if args.ledger_dir and metrics_doc is not None:
+        from repro.obs.ledger import RunLedger, build_record
+
+        try:
+            record = build_record(
+                report=report, metrics_doc=metrics_doc, config=config
+            )
+            RunLedger(args.ledger_dir).append(record)
+        except OSError as exc:
+            report_write_failed = True
+            logger.error("could not append ledger record: %s", exc)
+            print(f"[ledger record NOT written to {args.ledger_dir}: {exc}]")
+        else:
+            print(f"ledger record {record['run_id']} appended "
+                  f"in {args.ledger_dir}")
 
     print(report.summary_text())
     if metrics_doc is not None:

@@ -28,7 +28,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.alu import CH3_OPS
-from repro.experiments.charstudy import collect_choke_events, op_vector_stream
+from repro.experiments.charstudy import (
+    collect_choke_events,
+    op_vector_stream,
+    stable_seed,
+)
 from repro.experiments.report import ExperimentResult, Table
 from repro.experiments.runner import ExperimentContext
 from repro.pv.delaymodel import nominal_gate_delays
@@ -53,7 +57,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         for op in CH3_OPS:
             for chip_index in range(config.characterization_chips):
                 rng = np.random.default_rng(
-                    hash((corner, int(op), chip_index)) & 0x7FFFFFFF
+                    stable_seed(corner, int(op), chip_index)
                 )
                 op_inputs[(int(op), chip_index)] = op_vector_stream(
                     alu, op, config.characterization_vectors, rng

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.alu import CH3_OPS
-from repro.experiments.charstudy import op_vector_stream
+from repro.experiments.charstudy import op_vector_stream, stable_seed
 from repro.experiments.report import ExperimentResult, Table
 from repro.experiments.runner import ExperimentContext
 from repro.pv.delaymodel import nominal_gate_delays
@@ -40,7 +40,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         for chip_index in range(config.characterization_chips):
             for owm, label in (("high", "set"), ("low", "reset")):
                 rng = np.random.default_rng(
-                    hash(("fig3_3", int(op), chip_index, owm)) & 0x7FFFFFFF
+                    stable_seed("fig3_3", int(op), chip_index, owm)
                 )
                 inputs = op_vector_stream(
                     alu, op, config.characterization_vectors, rng, owm=owm

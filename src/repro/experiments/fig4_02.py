@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.isa import FIG4_2_INSTRS
-from repro.experiments.charstudy import instr_vector_stream
+from repro.experiments.charstudy import instr_vector_stream, stable_seed
 from repro.experiments.report import ExperimentResult, Table
 from repro.experiments.runner import ExperimentContext
 from repro.timing.dta import cycle_timings
@@ -51,7 +51,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         )
         for instr in FIG4_2_INSTRS:
             rng = np.random.default_rng(
-                hash(("fig4_2", int(instr), corner, buffered)) & 0x7FFFFFFF
+                stable_seed("fig4_2", int(instr), corner, buffered)
             )
             inputs = instr_vector_stream(
                 stage.alu, instr, config.characterization_vectors, rng

@@ -29,22 +29,44 @@ class Table:
 
     def render(self) -> str:
         def fmt(value) -> str:
-            if isinstance(value, float):
-                return f"{value:.3f}"
-            return str(value)
+            if isinstance(value, bool):
+                text = str(value)
+            elif isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            # Keep one cell = one visual cell: escape the column
+            # separator and embedded newlines so a hostile benchmark
+            # name (or a ledger run id) cannot shear the table.
+            return text.replace("|", "\\|").replace("\n", "\\n").replace("\r", "\\r")
+
+        def numeric(index: int) -> bool:
+            """A column is numeric iff every cell is an int/float (not bool)."""
+            return bool(self.rows) and all(
+                isinstance(row[index], (int, float)) and not isinstance(row[index], bool)
+                for row in self.rows
+            )
 
         cells = [[fmt(v) for v in row] for row in self.rows]
+        headers = [fmt(h) for h in self.headers]
         widths = [
             max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
-            for i, header in enumerate(self.headers)
+            for i, header in enumerate(headers)
+        ]
+        aligns = [
+            (str.rjust if numeric(i) else str.ljust) for i in range(len(headers))
         ]
         lines = [self.title]
         lines.append(
-            "  ".join(header.ljust(width) for header, width in zip(self.headers, widths))
+            "  ".join(align(header, width)
+                      for align, header, width in zip(aligns, headers, widths))
         )
         lines.append("  ".join("-" * width for width in widths))
         for row in cells:
-            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+            lines.append(
+                "  ".join(align(cell, width)
+                          for align, cell, width in zip(aligns, row, widths))
+            )
         return "\n".join(lines)
 
 

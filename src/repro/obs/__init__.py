@@ -33,6 +33,14 @@ from __future__ import annotations
 import os
 from typing import Any
 
+from repro.obs.dashboard import render_dashboard
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    LEDGER_VERSION,
+    RunLedger,
+    build_record,
+    headline_metrics,
+)
 from repro.obs.merge import (
     SCHEDULE_DEPENDENT_PREFIXES,
     determinism_view,
@@ -40,27 +48,45 @@ from repro.obs.merge import (
     merge_shards,
     metrics_document,
     profile_report,
+    scan_shards,
     summary_table,
     trace_document,
 )
 from repro.obs.metrics import Histogram, MetricsRegistry, labelled, quantile
-from repro.obs.recorder import NULL_SPAN, NullSpan, Span, TelemetryRecorder
+from repro.obs.recorder import (
+    NULL_SPAN,
+    SHARD_VERSION,
+    NullSpan,
+    Span,
+    TelemetryRecorder,
+)
+from repro.obs.trends import detect_drift, diff_records, flatten, history, robust_z
 
 __all__ = [
     "Histogram",
+    "LEDGER_FILENAME",
+    "LEDGER_VERSION",
     "MetricsRegistry",
     "NullSpan",
+    "RunLedger",
     "SCHEDULE_DEPENDENT_PREFIXES",
+    "SHARD_VERSION",
     "Span",
     "TelemetryRecorder",
+    "build_record",
     "determinism_view",
+    "detect_drift",
+    "diff_records",
     "disable",
     "enable",
     "enabled",
     "ensure_worker",
+    "flatten",
     "flush_worker",
     "gauge",
     "get_recorder",
+    "headline_metrics",
+    "history",
     "inc",
     "labelled",
     "load_shards",
@@ -69,6 +95,9 @@ __all__ = [
     "observe",
     "profile_report",
     "quantile",
+    "render_dashboard",
+    "robust_z",
+    "scan_shards",
     "span",
     "summary_table",
     "trace_document",

@@ -25,15 +25,22 @@ this view.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import SHARD_VERSION
 
 #: counter/gauge families that legitimately differ between schedules
 #: (``--jobs 1`` vs ``--jobs N``) and are therefore excluded from the
 #: determinism view.  ``span.`` is excluded because worker/prefetch
-#: spans only exist in parallel runs.
+#: spans only exist in parallel runs; the domain families (``scheme.``,
+#: ``choke.``, ``etrace.``) are excluded because serial runs memoise
+#: scheme sweeps across experiments while parallel workers rebuild a
+#: fresh context per task, so emission counts differ by schedule even
+#: though the science does not.  The run ledger still records the
+#: domain families, in its separate ``domain`` section.
 SCHEDULE_DEPENDENT_PREFIXES = (
     "checkpoint.",
     "worker.",
@@ -43,22 +50,54 @@ SCHEDULE_DEPENDENT_PREFIXES = (
     "sta.",
     "runner.trace",
     "cli.",
+    "scheme.",
+    "choke.",
+    "etrace.",
+    "obs.",
 )
+
+_SHARD_NAME = re.compile(r"^shard-v(\d+)-(\d+)-\d+\.json$")
+
+
+def scan_shards(directory: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Shard documents under ``directory`` plus a stale-shard count.
+
+    Three kinds of file are *not* merged:
+
+    * unreadable/truncated shards (a worker died mid-write before its
+      atomic replace) — skipped silently, as before;
+    * shards whose filename lacks the ``shard-v<version>-<pid>-`` form
+      or carries a foreign :data:`SHARD_VERSION` — leftovers from an
+      older telemetry schema in a reused directory;
+    * shards whose document header (version/pid) disagrees with their
+      filename — renamed or cross-run leftovers.
+
+    The latter two are **stale** and counted, so the CLI can surface an
+    ``obs.stale_shards_skipped`` counter instead of silently merging a
+    previous run's numbers into this one.
+    """
+    docs: list[dict[str, Any]] = []
+    stale = 0
+    for path in sorted(Path(directory).glob("shard-*.json")):
+        match = _SHARD_NAME.match(path.name)
+        if match is None or int(match.group(1)) != SHARD_VERSION:
+            stale += 1
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if (doc.get("version") != SHARD_VERSION
+                or doc.get("pid") != int(match.group(2))):
+            stale += 1
+            continue
+        docs.append(doc)
+    return docs, stale
 
 
 def load_shards(directory: str | Path) -> list[dict[str, Any]]:
-    """All shard documents under ``directory``, in sorted filename order.
-
-    Unreadable or truncated shards (a worker died mid-write before its
-    atomic replace) are skipped — partial telemetry beats no report.
-    """
-    docs: list[dict[str, Any]] = []
-    for path in sorted(Path(directory).glob("shard-*.json")):
-        try:
-            docs.append(json.loads(path.read_text()))
-        except (OSError, ValueError):
-            continue
-    return docs
+    """:func:`scan_shards` without the stale count (compatibility shim)."""
+    return scan_shards(directory)[0]
 
 
 def merge_shards(

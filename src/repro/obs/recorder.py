@@ -176,9 +176,17 @@ class TelemetryRecorder:
         }
 
     def shard_path(self) -> Path:
+        """Shard filename carrying schema version and writer pid.
+
+        Both also live in the document header; ``scan_shards`` treats a
+        mismatch between the two (or an unknown version) as a stale
+        leftover from a previous run in a reused directory and skips it
+        rather than merging it.
+        """
         if self.shard_dir is None:
             raise ValueError("recorder has no shard directory")
-        return self.shard_dir / f"shard-{self.pid}-{self._shard_tag}.json"
+        return (self.shard_dir
+                / f"shard-v{SHARD_VERSION}-{self.pid}-{self._shard_tag}.json")
 
     def flush(self) -> Path | None:
         """Atomically (re)write this process's shard file.

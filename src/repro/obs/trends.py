@@ -1,0 +1,212 @@
+"""Cross-run trend analysis over ledger records.
+
+The ledger (:mod:`repro.obs.ledger`) gives every metric a history; this
+module turns histories into decisions.  Three consumers:
+
+* ``ledger list`` / the dashboard want per-metric series —
+  :func:`flatten` + :func:`history`.
+* ``ledger diff A B`` wants a structural comparison of two records that
+  copes with disjoint metric sets — :func:`diff_records`.
+* ``check_regression.py --ledger`` and CI want drift detection that is
+  robust to the odd slow run — :func:`detect_drift`, a
+  median-absolute-deviation z-score of the newest value against the
+  trailing window.  MAD-based z-scores tolerate up to half the window
+  being outliers, which a mean/stddev gate does not.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.obs.ledger import LEDGER_VERSION
+
+#: consistency constant making MAD comparable to a standard deviation
+#: for normally distributed data.
+MAD_SCALE = 1.4826
+
+#: flattened-metric prefixes whose values are wall-clock measurements;
+#: noisy by nature, so drift gating treats them leniently (see
+#: :func:`detect_drift`'s ``timing_z_threshold``).
+TIMING_PREFIXES = ("span.", "wall.", "run.wall_clock_s", "checkpoint.hit_rate")
+
+
+def flatten(record: dict[str, Any]) -> dict[str, float]:
+    """One ledger record -> flat ``metric name -> numeric value``.
+
+    Namespaces keep provenance visible: ``counter.*`` is the
+    determinism view, ``domain.*`` the scheme/choke counters, ``sci.*``
+    the figure headline numbers, ``span.*`` per-span seconds and
+    ``wall.*`` per-experiment seconds.
+    """
+    flat: dict[str, float] = {}
+
+    def put(name: str, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        if isinstance(value, float) and not math.isfinite(value):
+            return
+        flat[name] = float(value)
+
+    for name, value in record.get("counters", {}).items():
+        put(f"counter.{name}", value)
+    for name, value in record.get("domain", {}).items():
+        put(f"domain.{name}", value)
+    for name, value in record.get("science", {}).items():
+        put(f"sci.{name}", value)
+    for name, value in record.get("spans", {}).items():
+        put(f"span.{name}", value)
+    put("span.total_s", record.get("span_total_s"))
+    put("checkpoint.hit_rate", record.get("checkpoint", {}).get("hit_rate"))
+
+    experiments = record.get("experiments", {})
+    ok = sum(1 for e in experiments.values() if e.get("status") == "ok")
+    if experiments:
+        put("run.experiments_ok", ok)
+        put("run.experiments_failed", len(experiments) - ok)
+        put("run.wall_clock_s", sum(e.get("elapsed_s", 0.0) for e in experiments.values()))
+    for experiment_id, entry in experiments.items():
+        put(f"wall.{experiment_id}_s", entry.get("elapsed_s"))
+    return flat
+
+
+def history(records: Iterable[dict[str, Any]]) -> dict[str, list[float]]:
+    """Per-metric value series, oldest first, over current-version records.
+
+    A metric absent from a run simply contributes no point — series may
+    have different lengths, which every consumer here tolerates.
+    """
+    series: dict[str, list[float]] = {}
+    for record in records:
+        if record.get("version") != LEDGER_VERSION:
+            continue
+        for name, value in flatten(record).items():
+            series.setdefault(name, []).append(value)
+    return series
+
+
+# ----------------------------------------------------------------------
+# robust statistics
+# ----------------------------------------------------------------------
+
+def median(values: list[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: list[float], center: float | None = None) -> float:
+    """Median absolute deviation about ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def robust_z(value: float, window: list[float]) -> float:
+    """MAD z-score of ``value`` against ``window``.
+
+    A zero MAD means the window is (half-)constant: identical values
+    score 0, any deviation scores ``inf`` — exactly the behaviour the
+    zero-drift determinism gate needs.
+    """
+    center = median(window)
+    spread = mad(window, center)
+    if spread == 0.0:
+        return 0.0 if value == center else math.inf
+    return (value - center) / (MAD_SCALE * spread)
+
+
+# ----------------------------------------------------------------------
+# drift detection
+# ----------------------------------------------------------------------
+
+def detect_drift(
+    records: list[dict[str, Any]],
+    window: int = 8,
+    z_threshold: float = 3.5,
+    timing_z_threshold: float = 6.0,
+    min_history: int = 3,
+) -> list[dict[str, Any]]:
+    """Score the newest run against its trailing window, per metric.
+
+    Returns one entry per metric present in the newest record with at
+    least ``min_history`` prior points: ``{metric, value, baseline_median,
+    z, threshold, drifted}``, drifted entries first, then by |z|.
+    Wall-clock metrics (:data:`TIMING_PREFIXES`) use the looser
+    ``timing_z_threshold`` so machine noise doesn't page anyone.
+    """
+    versioned = [r for r in records if r.get("version") == LEDGER_VERSION]
+    if len(versioned) < 2:
+        return []
+    latest = flatten(versioned[-1])
+    prior = [flatten(r) for r in versioned[:-1]]
+
+    findings = []
+    for name, value in sorted(latest.items()):
+        tail = [flat[name] for flat in prior if name in flat][-window:]
+        if len(tail) < min_history:
+            continue
+        threshold = (
+            timing_z_threshold if name.startswith(TIMING_PREFIXES) else z_threshold
+        )
+        z = robust_z(value, tail)
+        findings.append({
+            "metric": name,
+            "value": value,
+            "baseline_median": median(tail),
+            "window": len(tail),
+            "z": z,
+            "threshold": threshold,
+            "drifted": abs(z) > threshold,
+        })
+    findings.sort(key=lambda f: (not f["drifted"], -min(abs(f["z"]), 1e18), f["metric"]))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# record diffing
+# ----------------------------------------------------------------------
+
+def diff_records(
+    a: dict[str, Any],
+    b: dict[str, Any],
+    rel_tolerance: float = 0.0,
+) -> dict[str, Any]:
+    """Structural diff of two ledger records' flattened metrics.
+
+    Handles disjoint metric sets explicitly: metrics present on only
+    one side are reported in ``only_in_a`` / ``only_in_b`` rather than
+    treated as zero.  ``changed`` entries carry absolute and relative
+    deltas; a relative delta within ``rel_tolerance`` counts as equal.
+    """
+    flat_a, flat_b = flatten(a), flatten(b)
+    names_a, names_b = set(flat_a), set(flat_b)
+
+    changed = {}
+    equal = 0
+    for name in sorted(names_a & names_b):
+        va, vb = flat_a[name], flat_b[name]
+        delta = vb - va
+        rel = abs(delta) / abs(va) if va else (0.0 if delta == 0 else math.inf)
+        if delta == 0 or rel <= rel_tolerance:
+            equal += 1
+        else:
+            changed[name] = {"a": va, "b": vb, "delta": delta, "rel": rel}
+
+    return {
+        "run_a": a.get("run_id", "?"),
+        "run_b": b.get("run_id", "?"),
+        "same_rev": a.get("git_rev") == b.get("git_rev"),
+        "same_config": a.get("config_digest") == b.get("config_digest"),
+        "equal": equal,
+        "changed": changed,
+        "only_in_a": sorted(names_a - names_b),
+        "only_in_b": sorted(names_b - names_a),
+        "counter_drift": sum(
+            1 for name in changed if name.startswith("counter.")
+        ),
+    }

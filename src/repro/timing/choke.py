@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.pv.chip import ChipSample
 from repro.timing.dta import single_transition_arrivals
 from repro.timing.levelize import LevelizedCircuit
@@ -131,6 +132,14 @@ def analyze_choke_event(
         # requires a dominating affected gate group.
         return None
     cgl = len(choke_ids) / max(netlist.num_gates, 1) * 100.0
+    if obs.enabled():
+        # Per-chip choke histogram: CDL/CGL samples labelled by the
+        # chip's fabrication seed, plus a category counter per the
+        # paper's four CDL bins.
+        obs.inc("choke.events", category=category)
+        obs.inc("choke.cdl", category=category, chip=chip.seed)
+        obs.observe("choke.cdl_percent", cdl, chip=chip.seed)
+        obs.observe("choke.cgl_percent", cgl, chip=chip.seed)
     return ChokeEvent(
         cdl_percent=cdl,
         cgl_percent=cgl,

@@ -168,6 +168,16 @@ def cycle_timings(
             toggles[start:stop] = out_toggled
             start = stop
 
+        if obs.enabled():
+            # Arrival-time extremes of this evaluation: the late tail is
+            # where setup violations (and choke paths) live, the early
+            # minimum is what the hold constraint fights.  One sample per
+            # call keeps the histogram cheap and order-free.
+            obs.observe("dta.t_late_max_ps", float(t_late.max()))
+            finite_early = t_early[np.isfinite(t_early)]
+            if len(finite_early):
+                obs.observe("dta.t_early_min_ps", float(finite_early.min()))
+
     return CycleTimings(t_late=t_late, t_early=t_early, output_toggles=toggles)
 
 
