@@ -39,9 +39,42 @@ Usage (mirrors the CI perf and telemetry jobs)::
 from __future__ import annotations
 
 import argparse
+import ast
 import json
+import os
 import sys
 from pathlib import Path
+
+
+def lint_seed_hygiene(root: str) -> list[str]:
+    """Ban builtin ``hash()`` calls under ``root`` (AST-based).
+
+    The builtin is salted per process (PYTHONHASHSEED), so any value
+    derived from it — a seed, a Bloom position, a tie-break — silently
+    varies between a serial run and its fleet workers.  Production code
+    must derive seeds/positions through ``zlib.crc32`` (see
+    ``repro.experiments.charstudy.stable_seed``).  Mentions in strings
+    and docstrings are fine; only actual call sites are flagged.
+    """
+    findings = []
+    for path in sorted(Path(root).rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(f"{path}:{exc.lineno}: unparseable: {exc.msg}")
+            continue
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                findings.append(
+                    f"{path}:{node.lineno}: builtin hash() is salted per "
+                    f"process; derive seeds/positions via zlib.crc32 "
+                    f"(stable_seed) instead"
+                )
+    return findings
 
 
 def _ledger_modules():
@@ -131,8 +164,28 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail (exit non-zero) on metric/ledger drift "
                         "beyond tolerance instead of warning")
-    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument("--lint", action="store_true",
+                        help="seed-hygiene lint: fail on builtin hash() "
+                        "call sites under --lint-root (no perf inputs "
+                        "needed)")
+    parser.add_argument("--lint-root", default="src", metavar="DIR",
+                        help="directory tree the lint scans (default: src)")
+    parser.add_argument("--out",
+                        default=os.environ.get("CHECK_REGRESSION_OUT",
+                                               "BENCH_ci.json"),
+                        help="merged report path (default: BENCH_ci.json, "
+                        "or $CHECK_REGRESSION_OUT; ignored by --lint)")
     args = parser.parse_args(argv)
+    if args.lint:
+        findings = lint_seed_hygiene(args.lint_root)
+        if findings:
+            print("SEED-HYGIENE LINT:", file=sys.stderr)
+            for finding in findings:
+                print(f"  {finding}", file=sys.stderr)
+            return 1
+        print(f"seed-hygiene lint: no builtin hash() call sites "
+              f"under {args.lint_root}/")
+        return 0
     if not (args.bench or args.metrics or args.ledger):
         parser.error("nothing to check: pass --bench, --metrics and/or --ledger")
 

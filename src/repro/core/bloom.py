@@ -10,11 +10,21 @@ periodic refresh.
 
 from __future__ import annotations
 
+import zlib
 from typing import Hashable, Iterable
 
 
 class BloomFilter:
-    """A classic Bloom filter over hashable items."""
+    """A classic Bloom filter over hashable items.
+
+    Bit positions derive from CRC32 over the item's ``repr``, not
+    builtin ``hash()``: the builtin is salted per process
+    (PYTHONHASHSEED), so filter-dependent collision behaviour — and
+    with it any downstream tie-break — would differ between a serial
+    run and its fleet workers.  The QA lint
+    (``benchmarks/check_regression.py --lint``) bans builtin ``hash()``
+    under ``src/`` for exactly this reason.
+    """
 
     def __init__(self, num_bits: int = 1024, num_hashes: int = 3) -> None:
         if num_bits < 1:
@@ -27,8 +37,9 @@ class BloomFilter:
         self._count = 0
 
     def _positions(self, item: Hashable) -> list[int]:
+        key = repr(item).encode("utf-8")
         return [
-            hash((salt, item)) % self.num_bits for salt in range(self.num_hashes)
+            zlib.crc32(key, salt) % self.num_bits for salt in range(self.num_hashes)
         ]
 
     def add(self, item: Hashable) -> None:

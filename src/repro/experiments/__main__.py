@@ -207,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.ledger_cli import ledger_main
 
         return ledger_main(argv[1:])
+    if argv and argv[0] == "qa":
+        from repro.qa.cli import qa_main
+
+        return qa_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)

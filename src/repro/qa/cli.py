@@ -1,0 +1,221 @@
+"""The ``python -m repro.experiments qa {fuzz,repro,corpus,mutate,list}``
+family.
+
+Thin argparse front-end over :mod:`repro.qa.engine`,
+:mod:`repro.qa.corpus` and :mod:`repro.qa.mutants`:
+
+* ``fuzz`` — run a budgeted campaign; exit non-zero (and write shrunk
+  artifacts with ``--artifact-dir``) when any oracle fails.
+* ``repro FILE...`` — replay failure artifacts; exit non-zero while the
+  failure still reproduces, so it flips green once fixed.
+* ``corpus replay`` — replay the checked-in seed corpus (the CI
+  regression gate); ``corpus seed`` regenerates it.
+* ``mutate`` — the mutation self-test: plant each registered defect and
+  require the oracles to kill it.
+* ``list`` — the registered oracles and mutants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments qa",
+        description="Property-based differential QA over the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run a deterministic fuzz campaign")
+    fuzz.add_argument("--budget-s", type=float, default=60.0, metavar="S",
+                      help="planning budget in seconds (default: 60); sizes "
+                           "round counts arithmetically, never measured")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--oracle", action="append", metavar="NAME",
+                      help="restrict to this oracle (repeatable)")
+    fuzz.add_argument("--no-deep", action="store_true",
+                      help="skip the deep tier (multi-second differentials)")
+    fuzz.add_argument("--artifact-dir", metavar="DIR",
+                      help="write shrunk failure artifacts here")
+    fuzz.add_argument("--format", choices=("text", "json"), default="text")
+    fuzz.add_argument("-q", "--quiet", action="store_true",
+                      help="suppress per-oracle narration")
+
+    repro = sub.add_parser("repro", help="replay shrunk failure artifacts")
+    repro.add_argument("artifacts", nargs="+", metavar="FILE")
+    repro.add_argument("--format", choices=("text", "json"), default="text")
+
+    corpus = sub.add_parser("corpus", help="manage the seed corpus")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    replay = corpus_sub.add_parser("replay", help="replay a corpus directory")
+    replay.add_argument("--dir", required=True, metavar="DIR")
+    replay.add_argument("--format", choices=("text", "json"), default="text")
+    replay.add_argument("-q", "--quiet", action="store_true")
+    seed = corpus_sub.add_parser("seed", help="write representative passing cases")
+    seed.add_argument("--dir", required=True, metavar="DIR")
+    seed.add_argument("--seed", type=int, default=0)
+    seed.add_argument("--per-oracle", type=int, default=2, metavar="K")
+
+    mutate = sub.add_parser("mutate", help="run the mutation self-test")
+    mutate.add_argument("--seed", type=int, default=0)
+    mutate.add_argument("--rounds", type=int, default=None, metavar="N",
+                        help="cases per oracle per mutant (default: 8)")
+    mutate.add_argument("--mutant", action="append", metavar="NAME",
+                        help="restrict to this mutant (repeatable)")
+    mutate.add_argument("--format", choices=("text", "json"), default="text")
+
+    sub.add_parser("list", help="show registered oracles and mutants")
+    return parser
+
+
+def _emit(payload: dict) -> None:
+    print(json.dumps(payload, sort_keys=True, indent=2))
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.qa.engine import run_campaign
+
+    progress = None if (args.quiet or args.format == "json") else print
+    report = run_campaign(
+        seed=args.seed,
+        budget_s=args.budget_s,
+        oracle_names=args.oracle,
+        include_deep=not args.no_deep,
+        artifact_dir=args.artifact_dir,
+        progress=progress,
+    )
+    doc = report.as_dict()
+    if args.format == "json":
+        _emit(doc)
+    else:
+        failed = doc["failed_oracles"]
+        print(
+            f"campaign seed={report.seed} budget={report.budget_s:g}s: "
+            f"{doc['total_cases']} case(s) over {len(report.outcomes)} oracle(s), "
+            f"{len(failed)} failing"
+        )
+        for name in failed:
+            print(f"  FAILED {name}: {report.outcomes[name].failure['violations'][0]}")
+    return 1 if doc["failed_oracles"] else 0
+
+
+def _cmd_repro(args) -> int:
+    from repro.qa.corpus import load_artifact, replay
+
+    results = []
+    reproduced = 0
+    for path in args.artifacts:
+        artifact = load_artifact(path)
+        violations = replay(artifact)
+        still_fails = bool(violations)
+        reproduced += still_fails
+        results.append(
+            {
+                "path": path,
+                "oracle": artifact["oracle"],
+                "case": artifact["case"],
+                "reproduces": still_fails,
+                "violations": violations,
+            }
+        )
+        if args.format == "text":
+            status = "REPRODUCES" if still_fails else "fixed"
+            print(f"{status:>10}  {path} ({artifact['oracle']})")
+            for violation in violations:
+                print(f"            {violation}")
+    if args.format == "json":
+        _emit({"results": results, "reproduced": reproduced})
+    return 1 if reproduced else 0
+
+
+def _cmd_corpus(args) -> int:
+    from repro.qa import corpus
+
+    if args.corpus_command == "seed":
+        written = corpus.seed_corpus(
+            args.dir,
+            engine_seed=args.seed,
+            per_oracle=args.per_oracle,
+            progress=print,
+        )
+        print(f"{len(written)} corpus case(s) in {args.dir}")
+        return 0
+
+    progress = None if (args.quiet or args.format == "json") else print
+    report = corpus.replay_corpus(args.dir, progress=progress)
+    if args.format == "json":
+        _emit(report)
+    else:
+        print(
+            f"{report['entries']} corpus case(s), "
+            f"{len(report['regressed'])} regressed"
+        )
+        for entry in report["regressed"]:
+            detail = entry["violations"][0] if entry["violations"] else (
+                "expected a failure, but the case now passes"
+            )
+            print(f"  REGRESSED {entry['path']}: {detail}")
+    if not report["entries"]:
+        print("corpus directory is empty", file=sys.stderr)
+        return 1
+    return 1 if report["regressed"] else 0
+
+
+def _cmd_mutate(args) -> int:
+    from repro.qa.mutants import DEFAULT_ROUNDS, run_mutation_test
+
+    progress = None if args.format == "json" else print
+    report = run_mutation_test(
+        seed=args.seed,
+        rounds=args.rounds if args.rounds is not None else DEFAULT_ROUNDS,
+        mutant_names=args.mutant,
+        progress=progress,
+    )
+    if args.format == "json":
+        _emit(report)
+    else:
+        killed = sum(1 for r in report["mutants"].values() if r["killed"])
+        print(
+            f"{killed}/{len(report['mutants'])} mutant(s) killed, baseline "
+            f"{'clean' if report['baseline_clean'] else 'DIRTY'}"
+        )
+        for name in report["survivors"]:
+            print(f"  SURVIVED {name}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_list(_args) -> int:
+    from repro.qa.mutants import MUTANTS
+    from repro.qa.oracles import ORACLES
+
+    print(f"{len(ORACLES)} oracle(s):")
+    for name in sorted(ORACLES):
+        oracle = ORACLES[name]
+        print(f"  {name:<22} [{oracle.tier}] {oracle.description}")
+    print(f"{len(MUTANTS)} mutant(s):")
+    for name in sorted(MUTANTS):
+        mutant = MUTANTS[name]
+        print(f"  {name:<28} kills via {', '.join(mutant.oracles)}")
+    return 0
+
+
+def qa_main(argv: list[str]) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "fuzz": _cmd_fuzz,
+        "repro": _cmd_repro,
+        "corpus": _cmd_corpus,
+        "mutate": _cmd_mutate,
+        "list": _cmd_list,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # the consumer went away (`... | head`); behave like a well-bred
+        # filter: swallow the error and keep interpreter shutdown quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,188 @@
+"""Replayable JSON failure artifacts and the checked-in seed corpus.
+
+An artifact is everything needed to re-run one oracle on one case:
+
+.. code-block:: json
+
+    {"version": 1, "oracle": "scheme_conservation",
+     "case": {"n": 7, "err_rate_pct": 60, ...},
+     "violations": ["dcs penalty 12 != 14"]}
+
+Cases are flat scalar dicts (see :mod:`repro.qa.gen`), so replay needs
+no pickle and a human can minimise or edit an artifact by hand.  Two
+flavours share the format:
+
+* **failure artifacts** (``violations`` non-empty) — written by the
+  engine after shrinking; ``qa repro`` replays them and reports whether
+  the failure still reproduces.
+* **corpus seeds** (``expect: "pass"``) — representative cases checked
+  into ``benchmarks/qa_corpus/``; CI replays them and fails if any
+  regresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.qa.gen import case_seed, draw_case, validate_case
+from repro.qa.oracles import ORACLES, get_oracle
+
+ARTIFACT_VERSION = 1
+
+
+def canonical_json(obj: dict) -> str:
+    """Stable serialisation: the basis for artifact filenames."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def artifact_name(artifact: dict) -> str:
+    digest = hashlib.sha256(canonical_json(artifact).encode("utf-8")).hexdigest()
+    return f"{artifact['oracle']}-{digest[:12]}.json"
+
+
+def make_artifact(
+    oracle_name: str,
+    case: dict[str, int],
+    violations: list[str],
+    engine_seed: int | None = None,
+    round_index: int | None = None,
+    original_case: dict[str, int] | None = None,
+) -> dict:
+    """A failure artifact dict (provenance fields are optional)."""
+    artifact = {
+        "version": ARTIFACT_VERSION,
+        "oracle": oracle_name,
+        "case": dict(case),
+        "violations": list(violations),
+    }
+    if engine_seed is not None:
+        artifact["engine_seed"] = int(engine_seed)
+    if round_index is not None:
+        artifact["round"] = int(round_index)
+    if original_case is not None and original_case != case:
+        artifact["original_case"] = dict(original_case)
+    return artifact
+
+
+def write_artifact(directory: str | os.PathLike, artifact: dict) -> Path:
+    """Atomically write ``artifact`` under its content-hash filename."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / artifact_name(artifact)
+    payload = json.dumps(artifact, sort_keys=True, indent=2) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_artifact(path: str | os.PathLike) -> dict:
+    """Load and structurally validate an artifact file."""
+    with open(path, encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if not isinstance(artifact, dict):
+        raise ValueError(f"{path}: artifact must be a JSON object")
+    version = artifact.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(f"{path}: unsupported artifact version {version!r}")
+    oracle = get_oracle(str(artifact.get("oracle")))
+    artifact["case"] = validate_case(oracle.params, artifact.get("case", {}))
+    return artifact
+
+
+def replay(artifact: dict) -> list[str]:
+    """Re-run an artifact's oracle on its case; returns fresh violations."""
+    from repro.qa.engine import run_check
+
+    oracle = get_oracle(artifact["oracle"])
+    case = validate_case(oracle.params, artifact["case"])
+    return run_check(oracle, case)
+
+
+def corpus_paths(directory: str | os.PathLike) -> list[Path]:
+    return sorted(Path(directory).glob("*.json"))
+
+
+def replay_corpus(directory: str | os.PathLike, progress=None) -> dict:
+    """Replay every artifact in a corpus directory.
+
+    A corpus entry *regresses* when its current verdict differs from the
+    recorded expectation: seeds (``expect: "pass"`` or no recorded
+    violations) must stay green; failure artifacts must still fail
+    (otherwise the corpus is stale and should be re-seeded).
+    """
+    results = []
+    for path in corpus_paths(directory):
+        artifact = load_artifact(path)
+        violations = replay(artifact)
+        expect_pass = artifact.get("expect") == "pass" or not artifact.get("violations")
+        ok = (not violations) if expect_pass else bool(violations)
+        results.append(
+            {
+                "path": str(path),
+                "oracle": artifact["oracle"],
+                "expect": "pass" if expect_pass else "fail",
+                "ok": ok,
+                "violations": violations,
+            }
+        )
+        if progress is not None:
+            status = "ok" if ok else "REGRESSED"
+            progress(f"{status:>9}  {path}")
+    return {
+        "version": ARTIFACT_VERSION,
+        "entries": len(results),
+        "regressed": [r for r in results if not r["ok"]],
+        "results": results,
+    }
+
+
+def seed_corpus(
+    directory: str | os.PathLike,
+    engine_seed: int = 0,
+    per_oracle: int = 2,
+    progress=None,
+) -> list[Path]:
+    """Write representative passing cases for every fast oracle.
+
+    Cases come from the same deterministic stream the fuzzer uses
+    (rounds ``0 .. per_oracle-1``), so the corpus is reproducible from
+    ``(engine_seed, per_oracle)`` alone.  Currently-failing cases are
+    skipped — a seed corpus must be green at birth.
+    """
+    from repro.qa.engine import run_check
+
+    written: list[Path] = []
+    for name in sorted(ORACLES):
+        oracle = ORACLES[name]
+        if oracle.tier != "fast":
+            continue
+        for round_index in range(per_oracle):
+            case = draw_case(oracle.params, case_seed(engine_seed, name, round_index))
+            if run_check(oracle, case):
+                if progress is not None:
+                    progress(f"skip {name} round {round_index}: currently failing")
+                continue
+            artifact = {
+                "version": ARTIFACT_VERSION,
+                "oracle": name,
+                "case": case,
+                "expect": "pass",
+                "engine_seed": int(engine_seed),
+                "round": round_index,
+            }
+            path = write_artifact(directory, artifact)
+            written.append(path)
+            if progress is not None:
+                progress(f"seeded {path}")
+    return written

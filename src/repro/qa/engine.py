@@ -1,0 +1,212 @@
+"""Campaign planning and execution for the property-based fuzzer.
+
+The central design constraint is **budget determinism**: ``--budget-s``
+is a *planning* input, not a stopwatch.  :func:`plan_rounds` converts
+the budget into per-oracle round counts by pure arithmetic over static
+per-oracle cost hints; no wall clock is ever read, so two campaigns
+with the same ``(seed, budget_s, oracle selection)`` draw the same
+cases, reach the same verdicts, and emit byte-identical artifacts.
+The budget therefore bounds *planned* work — a loaded CI machine takes
+longer, it does not test less.
+
+When a case fails, the engine shrinks it (:mod:`repro.qa.shrink`),
+re-runs the shrunk case to capture final violations, writes a
+replayable JSON artifact, and stops fuzzing that oracle (one minimal
+artifact per oracle per campaign beats fifty correlated ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qa.gen import case_seed, draw_case
+from repro.qa.oracles import ORACLES, Oracle, get_oracle
+
+#: planned seconds per unit of oracle cost; a static calibration
+#: constant, deliberately NOT measured at runtime (determinism).
+UNIT_S = 0.08
+#: fraction of the budget planned for the fast tier (the rest absorbs
+#: planning slack and the deep tier's overshoot).
+FAST_SHARE = 0.6
+MIN_ROUNDS = 2
+MAX_ROUNDS = 400
+#: deep oracles join at this budget and gain a round per extra chunk
+DEEP_THRESHOLD_S = 30.0
+DEEP_ROUND_S = 90.0
+
+REPORT_VERSION = 1
+
+
+def plan_rounds(
+    budget_s: float,
+    oracle_names: list[str] | None = None,
+    include_deep: bool = True,
+) -> dict[str, int]:
+    """Per-oracle round counts for a campaign — pure arithmetic.
+
+    Fast oracles split ``FAST_SHARE`` of the budget evenly and convert
+    their share to rounds through their cost hint (clamped to
+    ``[MIN_ROUNDS, MAX_ROUNDS]``).  Deep oracles are step-functions of
+    the budget alone: nothing below ``DEEP_THRESHOLD_S``, then one round
+    plus one per ``DEEP_ROUND_S`` beyond it.
+    """
+    if budget_s <= 0:
+        raise ValueError(f"budget_s must be positive, got {budget_s}")
+    selected = sorted(oracle_names) if oracle_names is not None else sorted(ORACLES)
+    oracles = [get_oracle(name) for name in selected]
+    fast = [o for o in oracles if o.tier == "fast"]
+    plan: dict[str, int] = {}
+    share = budget_s * FAST_SHARE / max(1, len(fast))
+    for oracle in oracles:
+        if oracle.tier == "deep":
+            if not include_deep or budget_s < DEEP_THRESHOLD_S:
+                rounds = 0
+            else:
+                rounds = 1 + int((budget_s - DEEP_THRESHOLD_S) // DEEP_ROUND_S)
+        else:
+            rounds = max(MIN_ROUNDS, min(MAX_ROUNDS, int(share / (oracle.cost * UNIT_S))))
+        plan[oracle.name] = rounds
+    return plan
+
+
+def run_check(oracle: Oracle, case: dict[str, int]) -> list[str]:
+    """An oracle's violations for one case; an exception is a violation
+    too (oracles must not crash on in-range cases)."""
+    try:
+        return list(oracle.check(case))
+    except Exception as exc:  # noqa: BLE001 - a crashing oracle is a failing case
+        return [f"unhandled exception: {type(exc).__name__}: {exc}"]
+
+
+@dataclass
+class OracleOutcome:
+    """One oracle's slice of a campaign."""
+
+    name: str
+    rounds_planned: int
+    rounds_run: int = 0
+    failure: dict | None = None  # the shrunk failure artifact, if any
+    shrink_evals: int = 0
+
+    def as_dict(self) -> dict:
+        out = {
+            "rounds_planned": self.rounds_planned,
+            "rounds_run": self.rounds_run,
+            "shrink_evals": self.shrink_evals,
+        }
+        if self.failure is not None:
+            out["failure"] = self.failure
+        return out
+
+
+@dataclass
+class CampaignReport:
+    """The deterministic summary of one fuzz campaign (no timestamps)."""
+
+    seed: int
+    budget_s: float
+    outcomes: dict[str, OracleOutcome] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> list[dict]:
+        return [
+            outcome.failure
+            for name, outcome in sorted(self.outcomes.items())
+            if outcome.failure is not None
+        ]
+
+    @property
+    def total_cases(self) -> int:
+        return sum(o.rounds_run + o.shrink_evals for o in self.outcomes.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "seed": self.seed,
+            "budget_s": self.budget_s,
+            "total_cases": self.total_cases,
+            "failed_oracles": sorted(
+                name for name, o in self.outcomes.items() if o.failure is not None
+            ),
+            "oracles": {
+                name: outcome.as_dict()
+                for name, outcome in sorted(self.outcomes.items())
+            },
+        }
+
+
+def fuzz_oracle(
+    oracle: Oracle,
+    engine_seed: int,
+    rounds: int,
+    max_shrink_evals: int = 160,
+) -> OracleOutcome:
+    """Fuzz one oracle for ``rounds`` cases, shrinking the first failure."""
+    from repro.qa.corpus import make_artifact
+    from repro.qa.shrink import shrink_case
+
+    outcome = OracleOutcome(name=oracle.name, rounds_planned=rounds)
+    for round_index in range(rounds):
+        seed = case_seed(engine_seed, oracle.name, round_index)
+        case = draw_case(oracle.params, seed)
+        outcome.rounds_run += 1
+        violations = run_check(oracle, case)
+        if not violations:
+            continue
+        shrunk, evals = shrink_case(
+            case,
+            oracle.params,
+            lambda candidate: bool(run_check(oracle, candidate)),
+            max_evals=max_shrink_evals,
+        )
+        outcome.shrink_evals = evals
+        final_violations = run_check(oracle, shrunk)
+        if not final_violations:  # pragma: no cover - shrinker re-checks candidates
+            shrunk, final_violations = case, violations
+        outcome.failure = make_artifact(
+            oracle.name,
+            shrunk,
+            final_violations,
+            engine_seed=engine_seed,
+            round_index=round_index,
+            original_case=case,
+        )
+        break  # one minimal artifact per oracle per campaign
+    return outcome
+
+
+def run_campaign(
+    seed: int,
+    budget_s: float,
+    oracle_names: list[str] | None = None,
+    include_deep: bool = True,
+    artifact_dir: str | None = None,
+    progress=None,
+) -> CampaignReport:
+    """Run a full campaign; optionally persist failure artifacts.
+
+    ``progress`` is an optional ``callable(str)`` used for CLI
+    narration; it never influences the verdicts.
+    """
+    from repro.qa.corpus import write_artifact
+
+    plan = plan_rounds(budget_s, oracle_names, include_deep=include_deep)
+    report = CampaignReport(seed=int(seed), budget_s=float(budget_s))
+    for name, rounds in sorted(plan.items()):
+        oracle = get_oracle(name)
+        if progress is not None:
+            progress(f"fuzz {name}: {rounds} case(s)")
+        outcome = fuzz_oracle(oracle, report.seed, rounds)
+        report.outcomes[name] = outcome
+        if outcome.failure is not None:
+            if progress is not None:
+                progress(
+                    f"  FAIL {name}: {outcome.failure['violations'][0]} "
+                    f"(shrunk in {outcome.shrink_evals} evals)"
+                )
+            if artifact_dir is not None:
+                path = write_artifact(artifact_dir, outcome.failure)
+                outcome.failure["artifact_path"] = str(path)
+                if progress is not None:
+                    progress(f"  wrote {path}")
+    return report

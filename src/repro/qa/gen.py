@@ -1,0 +1,82 @@
+"""Seeded case generation: scalar parameter specs and draw combinators.
+
+A *case* is a flat ``{name: int}`` dict — nothing else.  Expensive
+structures (netlists, chips, error traces) are materialised *inside* an
+oracle's check from those scalars, deterministically.  Keeping cases
+scalar buys three things: they serialise to JSON verbatim, shrinking is
+plain integer minimisation, and a replay needs no pickle.
+
+Seed derivation goes through :func:`repro.experiments.charstudy.stable_seed`
+(CRC32 over the key's repr) — never builtin ``hash()``, which is salted
+per process and produced the PR 4 determinism bug this package exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.charstudy import stable_seed
+
+
+@dataclass(frozen=True)
+class Param:
+    """An inclusive integer parameter range; shrinking moves toward ``lo``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty Param range [{self.lo}, {self.hi}]")
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def clamp(self, value: int) -> int:
+        return max(self.lo, min(self.hi, int(value)))
+
+
+def case_seed(engine_seed: int, oracle_name: str, round_index: int) -> int:
+    """The deterministic per-round seed a case is drawn from."""
+    return stable_seed("qa", int(engine_seed), oracle_name, int(round_index))
+
+
+def draw_case(params: dict[str, Param], seed: int) -> dict[str, int]:
+    """Draw one case; parameter order is name-sorted so the stream is
+    independent of dict insertion order."""
+    rng = np.random.default_rng(int(seed))
+    return {name: params[name].draw(rng) for name in sorted(params)}
+
+
+def case_rng(case: dict[str, int], *salt: object) -> np.random.Generator:
+    """A generator derived from a case's scalars (plus optional salt).
+
+    Oracles use this to materialise structures: the stream depends only
+    on the case contents, so a shrunk/replayed case rebuilds the exact
+    same netlist or trace.
+    """
+    key = tuple(sorted(case.items()))
+    return np.random.default_rng(stable_seed("qa-case", key, *salt))
+
+
+def validate_case(params: dict[str, Param], case: dict) -> dict[str, int]:
+    """Coerce and bound-check a (possibly hand-edited) case dict."""
+    unknown = set(case) - set(params)
+    if unknown:
+        raise ValueError(f"unknown case parameter(s): {sorted(unknown)}")
+    missing = set(params) - set(case)
+    if missing:
+        raise ValueError(f"missing case parameter(s): {sorted(missing)}")
+    out: dict[str, int] = {}
+    for name in sorted(params):
+        value = int(case[name])
+        if not params[name].lo <= value <= params[name].hi:
+            raise ValueError(
+                f"case parameter {name}={value} outside "
+                f"[{params[name].lo}, {params[name].hi}]"
+            )
+        out[name] = value
+    return out

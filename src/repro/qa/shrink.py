@@ -1,0 +1,65 @@
+"""Deterministic greedy shrinking of failing cases.
+
+Cases are flat ``{name: int}`` dicts with per-parameter lower bounds
+(:class:`repro.qa.gen.Param`), so shrinking is integer minimisation:
+for each parameter try its lower bound, then successive halvings of the
+distance to it, then a single decrement; keep any candidate that still
+fails.  Passes repeat until a full sweep makes no progress or the
+evaluation budget runs out.  Everything is ordered (name-sorted
+parameters, fixed candidate order), so the same failing case always
+shrinks to the same minimal case.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.qa.gen import Param
+
+
+def _candidates(value: int, lo: int) -> list[int]:
+    """Smaller values to try, most aggressive first."""
+    if value <= lo:
+        return []
+    out = [lo]
+    gap = value - lo
+    while gap > 1:
+        gap //= 2
+        candidate = lo + gap
+        if candidate not in out and candidate < value:
+            out.append(candidate)
+    if value - 1 not in out:
+        out.append(value - 1)
+    return out
+
+
+def shrink_case(
+    case: dict[str, int],
+    params: dict[str, Param],
+    is_failing: Callable[[dict[str, int]], bool],
+    max_evals: int = 160,
+) -> tuple[dict[str, int], int]:
+    """Minimise ``case`` while ``is_failing`` stays true.
+
+    Returns ``(shrunk_case, evaluations_spent)``.  ``is_failing`` is
+    only ever called on in-range candidate cases; the input case itself
+    is assumed failing and is not re-checked.
+    """
+    current = dict(case)
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for name in sorted(current):
+            lo = params[name].lo
+            for candidate_value in _candidates(current[name], lo):
+                if evals >= max_evals:
+                    break
+                candidate = dict(current)
+                candidate[name] = candidate_value
+                evals += 1
+                if is_failing(candidate):
+                    current = candidate
+                    progress = True
+                    break  # restart candidate ladder from the new value
+    return current, evals

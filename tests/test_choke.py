@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.gates.builder import NetlistBuilder
-from repro.pv.chip import ChipSample
 from repro.pv.delaymodel import NTC
 from repro.timing.choke import (
     CDL_CATEGORIES,
@@ -13,8 +11,8 @@ from repro.timing.choke import (
     classify_cdl,
     fast_gates_on_path,
 )
-from repro.timing.levelize import levelize
 from repro.timing.paths import Path
+from tests.util import forced_choke_chip
 
 
 def test_classify_cdl_boundaries():
@@ -34,97 +32,59 @@ def test_categories_tuple():
     assert CDL_CATEGORIES == ("CDL_L", "CDL_ML", "CDL_MH", "CDL_H")
 
 
-def _chip_with_forced_choke():
-    """Two parallel branches into a mux; one branch gets a massive choke.
-
-    The deep branch is driven by input ``a``, the (choked) short branch by
-    input ``b``, so tests can sensitise them independently.
-    """
-    builder = NetlistBuilder()
-    a = builder.input("a")
-    b = builder.input("b")
-    sel = builder.input("sel")
-    # nominal critical branch: 4 buffers
-    deep = a
-    for _ in range(4):
-        deep = builder.buf(deep)
-    # short branch: 2 buffers (one will be choked)
-    short1 = builder.buf(b)
-    short2 = builder.buf(short1)
-    out = builder.mux(sel, deep, short2)
-    builder.output("y", out)
-    netlist = builder.build()
-
-    nominal = np.zeros(netlist.num_nodes)
-    for node in range(netlist.num_nodes):
-        if netlist.fanins(node):
-            nominal[node] = 10.0
-    delays = nominal.copy()
-    delays[short2] = 100.0  # the choke gate: 10x its nominal delay
-
-    chip = ChipSample(
-        netlist=netlist,
-        corner=NTC,
-        seed=0,
-        delta_vth=np.zeros(netlist.num_nodes),
-        delays=delays,
-        nominal_delays=nominal,
-        affected_ids=np.array([short2]),
-    )
-    return chip, levelize(netlist), netlist, (a, b, sel, short2, out)
-
-
 def test_forced_choke_event_detected():
-    chip, circuit, netlist, (a, b, sel, short2, out) = _chip_with_forced_choke()
-    nominal_critical = 50.0  # 4 bufs + mux at 10 ps each
+    fx = forced_choke_chip()  # deep=4 bufs, short=2 bufs, one choked to 100ps
     # sel=1 selects the short branch (mux computes b-input when sel); toggle b
     prev = np.array([0, 0, 1])
     curr = np.array([0, 1, 1])
-    event = analyze_choke_event(circuit, chip, prev, curr, nominal_critical)
+    event = analyze_choke_event(
+        fx.circuit, fx.chip, prev, curr, fx.nominal_critical
+    )
     assert event is not None
     # short branch: 10 + 100 + 10(mux) = 120 -> CDL = 140%
     assert event.cdl_percent == pytest.approx(140.0)
+    assert fx.short_arrival == pytest.approx(120.0)
     assert event.category == "CDL_H"
-    assert short2 in event.choke_gate_ids
+    assert fx.choke_gate in event.choke_gate_ids
     assert event.num_choke_gates == 1
-    assert event.cgl_percent == pytest.approx(100.0 / netlist.num_gates)
-    assert event.path.nodes[-1] == out
-    assert event.path.nodes[0] == b
+    assert event.cgl_percent == pytest.approx(100.0 / fx.netlist.num_gates)
+    assert event.path.nodes[-1] == fx.out
+    assert event.path.nodes[0] == fx.b
 
 
 def test_no_event_when_nothing_toggles():
-    chip, circuit, _netlist, _nodes = _chip_with_forced_choke()
+    fx = forced_choke_chip()
     prev = np.array([1, 1, 1])
     curr = np.array([1, 1, 1])
-    event = analyze_choke_event(circuit, chip, prev, curr, 50.0)
+    event = analyze_choke_event(fx.circuit, fx.chip, prev, curr, 50.0)
     assert event is None  # nothing toggles at all
 
 
 def test_no_event_when_choke_branch_untoggled():
-    chip, circuit, _netlist, _nodes = _chip_with_forced_choke()
+    fx = forced_choke_chip()
     # only the deep branch toggles (b constant, sel=0 selects deep):
     # arrival = 50 = nominal critical, so no choke path is created
     prev = np.array([0, 0, 0])
     curr = np.array([1, 0, 0])
-    event = analyze_choke_event(circuit, chip, prev, curr, 50.0)
+    event = analyze_choke_event(fx.circuit, fx.chip, prev, curr, 50.0)
     assert event is None
 
 
 def test_invalid_nominal_critical_rejected():
-    chip, circuit, _netlist, _nodes = _chip_with_forced_choke()
+    fx = forced_choke_chip()
     with pytest.raises(ValueError):
         analyze_choke_event(
-            circuit, chip, np.array([0, 0, 0]), np.array([0, 1, 0]), 0.0
+            fx.circuit, fx.chip, np.array([0, 0, 0]), np.array([0, 1, 0]), 0.0
         )
 
 
 def test_choke_and_fast_gates_on_path():
-    chip, _circuit, netlist, (a, b, _sel, short2, out) = _chip_with_forced_choke()
-    chip.delays[4] = 2.0  # make one deep-branch buffer fast (node 4 is a BUF)
-    path = Path(nodes=(b, short2, out), delay=120.0)
-    assert choke_gates_on_path(path, chip) == (short2,)
+    fx = forced_choke_chip()
+    fx.chip.delays[4] = 2.0  # make one deep-branch buffer fast (node 4 is a BUF)
+    path = Path(nodes=(fx.b, fx.choke_gate, fx.out), delay=120.0)
+    assert choke_gates_on_path(path, fx.chip) == (fx.choke_gate,)
     fast_path = Path(nodes=(4,), delay=2.0)
-    assert fast_gates_on_path(fast_path, chip) == (4,)
+    assert fast_gates_on_path(fast_path, fx.chip) == (4,)
 
 
 def test_real_chip_choke_events_have_valid_structure(alu8, alu8_circuit):

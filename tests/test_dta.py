@@ -14,20 +14,7 @@ from repro.timing.dta import (
     single_transition_arrivals,
 )
 from repro.timing.levelize import levelize
-
-
-def _chain_circuit(length=3):
-    """in -> BUF x length -> out, with unit delays assigned manually."""
-    builder = NetlistBuilder()
-    a = builder.input("a")
-    node = a
-    for _ in range(length):
-        node = builder.buf(node)
-    builder.output("y", node)
-    netlist = builder.build()
-    delays = np.zeros(netlist.num_nodes)
-    delays[1:] = 10.0  # each BUF 10 ps
-    return levelize(netlist), delays
+from tests.util import chain_circuit as _chain_circuit  # canonical builder
 
 
 def test_chain_arrival_time():

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import subprocess
+import sys
 import time
 from dataclasses import replace
 
@@ -126,6 +129,36 @@ def test_claim_is_exclusive_and_stale_claims_break(tmp_path):
     assert not other.try_claim("k")  # this attempt breaks the stale claim
     assert other.stats.claims_broken == 1
     assert other.try_claim("k")  # ...so the next one wins
+
+
+def test_claim_of_dead_process_breaks_immediately(tmp_path):
+    # A SIGKILL'd worker leaves its claim file behind; waiting out
+    # claim_stale_s (10 min default) would wedge the retry.  The claim
+    # records the owner pid, so a liveness probe must break it at once.
+    child = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(child.stdout)
+    store = CheckpointStore(tmp_path, claims=True, claim_stale_s=600.0)
+    store.claim_path("k").write_text(f"{dead_pid}\n")
+    assert not store.try_claim("k")  # this attempt breaks the orphan
+    assert store.stats.claims_broken == 1
+    assert store.try_claim("k")  # ...and the next one wins immediately
+
+    # a claim held by a live process is NOT broken by the probe
+    store.release("k")
+    store.claim_path("k").write_text(f"{os.getpid()}\n")
+    other = CheckpointStore(tmp_path, claims=True, claim_stale_s=600.0)
+    assert not other.try_claim("k")
+    assert other.stats.claims_broken == 0
+
+    # garbage in the claim file falls back to the age rule
+    store.claim_path("k").write_text("not-a-pid\n")
+    assert not other.try_claim("k")
+    assert other.stats.claims_broken == 0
 
 
 def test_waiter_adopts_entry_computed_by_claim_holder(tmp_path):

@@ -1,0 +1,140 @@
+"""Edge-case tests for the trend engine (:mod:`repro.obs.trends`).
+
+The happy paths live in ``test_ledger.py``; here we pin the behaviours
+that only bite on degenerate inputs: histories shorter than the drift
+window's ``min_history``, all-identical series (MAD collapses to 0),
+and NaN / missing metric values arriving from partial telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import trends
+from repro.obs.ledger import LEDGER_VERSION
+
+
+def make_record(run_id="run", **counters):
+    return {
+        "version": LEDGER_VERSION,
+        "run_id": run_id,
+        "counters": dict(counters),
+    }
+
+
+# ----------------------------------------------------------------------
+# histories shorter than the window
+# ----------------------------------------------------------------------
+
+
+def test_drift_needs_two_records_at_all():
+    assert trends.detect_drift([]) == []
+    assert trends.detect_drift([make_record(metric=1.0)]) == []
+
+
+def test_drift_skips_metrics_below_min_history():
+    # three records = two prior points < min_history(3): nothing scored
+    records = [make_record(run_id=f"r{i}", metric=float(i)) for i in range(3)]
+    assert trends.detect_drift(records) == []
+    # one more record crosses the threshold and the metric is scored
+    records.append(make_record(run_id="r3", metric=3.0))
+    findings = trends.detect_drift(records)
+    assert [f["metric"] for f in findings] == ["counter.metric"]
+
+
+def test_drift_window_one_is_degenerate_but_defined():
+    # window=1 leaves a single prior point per score once min_history
+    # allows any scoring at all; min_history still gates it off.
+    records = [make_record(run_id=f"r{i}", metric=5.0) for i in range(4)]
+    assert trends.detect_drift(records, window=1) == []
+
+
+def test_metric_appearing_mid_history_waits_for_its_own_history():
+    # 'late' only exists in the last two records: 1 prior point < 3
+    records = [make_record(run_id=f"r{i}", metric=1.0) for i in range(4)]
+    records.append(make_record(run_id="r4", metric=1.0, late=7.0))
+    records.append(make_record(run_id="r5", metric=1.0, late=9.0))
+    names = [f["metric"] for f in trends.detect_drift(records)]
+    assert "counter.late" not in names
+    assert "counter.metric" in names
+
+
+# ----------------------------------------------------------------------
+# all-identical series: MAD == 0
+# ----------------------------------------------------------------------
+
+
+def test_identical_series_never_drifts_and_scores_zero():
+    records = [make_record(run_id=f"r{i}", metric=42.0) for i in range(8)]
+    findings = trends.detect_drift(records)
+    assert findings and all(not f["drifted"] for f in findings)
+    assert all(f["z"] == 0.0 for f in findings)
+
+
+def test_any_jump_off_identical_series_is_infinite_z():
+    records = [make_record(run_id=f"r{i}", metric=42.0) for i in range(8)]
+    records[-1] = make_record(run_id="spike", metric=42.0000001)
+    (finding,) = trends.detect_drift(records)
+    assert finding["drifted"]
+    assert math.isinf(finding["z"])
+
+
+def test_mad_zero_semantics_direct():
+    window = [7.0] * 5
+    assert trends.mad(window) == 0.0
+    assert trends.robust_z(7.0, window) == 0.0
+    assert trends.robust_z(7.0 + 1e-9, window) == math.inf
+
+
+# ----------------------------------------------------------------------
+# NaN / missing metric values
+# ----------------------------------------------------------------------
+
+
+def test_flatten_drops_nan_inf_and_non_numeric():
+    record = make_record(
+        good=1.5, bad_nan=math.nan, bad_inf=math.inf, bad_bool=True, bad_str="x"
+    )
+    flat = trends.flatten(record)
+    assert flat["counter.good"] == 1.5
+    assert not any(name.startswith("counter.bad") for name in flat)
+
+
+def test_nan_values_do_not_poison_drift_detection():
+    records = [
+        make_record(run_id=f"r{i}", metric=10.0, flaky=math.nan) for i in range(8)
+    ]
+    findings = trends.detect_drift(records)
+    names = [f["metric"] for f in findings]
+    assert "counter.flaky" not in names  # dropped at flatten, not scored as 0
+    assert "counter.metric" in names
+    assert all(not f["drifted"] for f in findings)
+
+
+def test_metric_missing_from_some_records_uses_present_values_only():
+    # 'gappy' is absent (not zero) in half the records; history must be
+    # the present values, so an unchanged value scores clean.
+    records = []
+    for i in range(8):
+        extra = {"gappy": 3.0} if i % 2 == 0 else {}
+        records.append(make_record(run_id=f"r{i}", metric=1.0, **extra))
+    findings = {f["metric"]: f for f in trends.detect_drift(records)}
+    gappy = findings.get("counter.gappy")
+    if gappy is not None:  # enough history to score: must be clean
+        assert not gappy["drifted"]
+        assert gappy["z"] == 0.0
+
+
+def test_diff_records_reports_nan_as_missing_not_changed():
+    a = make_record(run_id="a", metric=1.0, flaky=math.nan)
+    b = make_record(run_id="b", metric=1.0, flaky=2.0)
+    diff = trends.diff_records(a, b)
+    assert diff["only_in_b"] == ["counter.flaky"]  # NaN side dropped
+    assert diff["changed"] == {}
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        trends.median([])

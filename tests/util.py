@@ -1,112 +1,25 @@
-"""Shared test helpers: random netlists and synthetic error traces."""
+"""Shared test helpers.
+
+The circuit/chip/trace builders the tests used to define privately now
+live in :mod:`repro.qa.circuits` — one canonical implementation that
+both the unit tests and the QA fuzz generators construct structures
+from — and are re-exported here so test code keeps importing from one
+place.  Only the word-level ALU helpers remain test-local.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.scheme_sim import ErrorTrace
-from repro.gates.celllib import GateKind
-from repro.gates.netlist import Netlist
-from repro.timing.dta import ERR_NONE
-
-_TWO_INPUT = (
-    GateKind.AND2,
-    GateKind.OR2,
-    GateKind.NAND2,
-    GateKind.NOR2,
-    GateKind.XOR2,
-    GateKind.XNOR2,
+from repro.qa.circuits import (  # noqa: F401 - re-exported for the tests
+    ChokeFixture,
+    all_none,
+    chain_circuit,
+    forced_choke_chip,
+    random_gate_delays,
+    random_netlist,
+    synthetic_error_trace,
 )
-_ONE_INPUT = (GateKind.BUF, GateKind.INV, GateKind.DBUF)
-
-
-def random_netlist(
-    rng: np.random.Generator,
-    num_inputs: int = 6,
-    num_gates: int = 40,
-    num_outputs: int = 4,
-    mux_fraction: float = 0.15,
-) -> Netlist:
-    """A random, structurally-valid combinational netlist."""
-    netlist = Netlist("random")
-    for i in range(num_inputs):
-        netlist.add(GateKind.INPUT, (), name=f"in{i}")
-    netlist.add(GateKind.CONST0, ())
-    netlist.add(GateKind.CONST1, ())
-    for _ in range(num_gates):
-        top = netlist.num_nodes
-        roll = rng.random()
-        if roll < mux_fraction:
-            fanins = tuple(int(rng.integers(0, top)) for _ in range(3))
-            netlist.add(GateKind.MUX2, fanins)
-        elif roll < mux_fraction + 0.2:
-            kind = _ONE_INPUT[int(rng.integers(len(_ONE_INPUT)))]
-            netlist.add(kind, (int(rng.integers(0, top)),))
-        else:
-            kind = _TWO_INPUT[int(rng.integers(len(_TWO_INPUT)))]
-            fanins = (int(rng.integers(0, top)), int(rng.integers(0, top)))
-            netlist.add(kind, fanins)
-    total = netlist.num_nodes
-    for i in range(num_outputs):
-        netlist.mark_output(f"out{i}", int(rng.integers(num_inputs, total)))
-    return netlist
-
-
-def synthetic_error_trace(
-    err_class: np.ndarray,
-    instr_sens: np.ndarray | None = None,
-    instr_init: np.ndarray | None = None,
-    owm: np.ndarray | None = None,
-    size_a: np.ndarray | None = None,
-    size_b: np.ndarray | None = None,
-    t_late: np.ndarray | None = None,
-    t_early: np.ndarray | None = None,
-    clock_period: float = 1000.0,
-    hold_constraint: float = 120.0,
-    benchmark: str = "synthetic",
-    corner_vdd: float = 0.45,
-) -> ErrorTrace:
-    """Hand-built ErrorTrace for scheme unit tests.
-
-    Defaults: a single repeated instruction context, with ``t_late``
-    derived from the error classes (10 % beyond the clock on max errors).
-    """
-    err_class = np.asarray(err_class, dtype=np.int8)
-    n = len(err_class)
-
-    def default(arr, value, dtype):
-        if arr is not None:
-            return np.asarray(arr, dtype=dtype)
-        return np.full(n, value, dtype=dtype)
-
-    is_max = (err_class == 2) | (err_class == 3)
-    is_min = (err_class == 1) | (err_class == 3)
-    if t_late is None:
-        t_late = np.where(is_max, clock_period * 1.1, clock_period * 0.8)
-    if t_early is None:
-        t_early = np.where(is_min, hold_constraint * 0.5, hold_constraint * 2.0)
-
-    return ErrorTrace(
-        benchmark=benchmark,
-        corner="NTC",
-        corner_vdd=corner_vdd,
-        clock_period=clock_period,
-        hold_constraint=hold_constraint,
-        instr_sens=default(instr_sens, 1, np.int16),
-        instr_init=default(instr_init, 2, np.int16),
-        owm_sens=default(owm, True, bool),
-        owm_init=default(owm, False, bool),
-        size_a=default(size_a, True, bool),
-        size_b=default(size_b, False, bool),
-        static_ids=np.arange(n, dtype=np.int32),
-        t_late=np.asarray(t_late, dtype=np.float32),
-        t_early=np.asarray(t_early, dtype=np.float32),
-        err_class=err_class,
-    )
-
-
-def all_none(n: int) -> np.ndarray:
-    return np.full(n, ERR_NONE, dtype=np.int8)
 
 
 def eval_word(builder, word, input_bits) -> int:
