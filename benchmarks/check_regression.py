@@ -46,15 +46,29 @@ import sys
 from pathlib import Path
 
 
-def lint_seed_hygiene(root: str) -> list[str]:
-    """Ban builtin ``hash()`` calls under ``root`` (AST-based).
+#: global-RNG functions whose call sites the lint flags; a seeded
+#: ``random.Random(seed)`` instance is the sanctioned alternative
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "getrandbits",
+})
 
-    The builtin is salted per process (PYTHONHASHSEED), so any value
-    derived from it — a seed, a Bloom position, a tie-break — silently
-    varies between a serial run and its fleet workers.  Production code
-    must derive seeds/positions through ``zlib.crc32`` (see
-    ``repro.experiments.charstudy.stable_seed``).  Mentions in strings
-    and docstrings are fine; only actual call sites are flagged.
+
+def lint_seed_hygiene(root: str) -> list[str]:
+    """Ban nondeterminism sources under ``root`` (AST-based).
+
+    Two classes of call site are flagged:
+
+    * builtin ``hash()`` — salted per process (PYTHONHASHSEED), so any
+      value derived from it silently varies between a serial run and
+      its fleet workers.  Derive seeds/positions through ``zlib.crc32``
+      (see ``repro.experiments.charstudy.stable_seed``).
+    * module-level ``random.*()`` — the global RNG's state depends on
+      import order and everything else that touched it, so its output
+      differs between backends.  Use a seeded ``random.Random(seed)``
+      instance (or ``repro.runtime.backoff`` for jitter) instead.
+
+    Mentions in strings and docstrings are fine; only calls are flagged.
     """
     findings = []
     for path in sorted(Path(root).rglob("*.py")):
@@ -64,15 +78,24 @@ def lint_seed_hygiene(root: str) -> list[str]:
             findings.append(f"{path}:{exc.lineno}: unparseable: {exc.msg}")
             continue
         for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "hash"
-            ):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "hash":
                 findings.append(
                     f"{path}:{node.lineno}: builtin hash() is salted per "
                     f"process; derive seeds/positions via zlib.crc32 "
                     f"(stable_seed) instead"
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in _GLOBAL_RNG_FNS
+            ):
+                findings.append(
+                    f"{path}:{node.lineno}: global random.{node.func.attr}() "
+                    f"is unseeded and schedule-dependent; use a seeded "
+                    f"random.Random(seed) instance instead"
                 )
     return findings
 
@@ -158,6 +181,10 @@ def main(argv=None) -> int:
                         help="run-ledger directory: gate the newest run "
                         "against its own trailing window (MAD z-score) "
                         "instead of a pinned baseline")
+    parser.add_argument("--backends",
+                        help="bench_backends.py --json output: warn when a "
+                        "backend's overhead over inproc exceeds the "
+                        "baseline's backends.max_overhead (never gates)")
     parser.add_argument("--baseline", default="benchmarks/baseline.json")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline file's tolerance")
@@ -183,11 +210,13 @@ def main(argv=None) -> int:
             for finding in findings:
                 print(f"  {finding}", file=sys.stderr)
             return 1
-        print(f"seed-hygiene lint: no builtin hash() call sites "
-              f"under {args.lint_root}/")
+        print(f"seed-hygiene lint: no builtin hash() or unseeded "
+              f"random.* call sites under {args.lint_root}/")
         return 0
-    if not (args.bench or args.metrics or args.ledger):
-        parser.error("nothing to check: pass --bench, --metrics and/or --ledger")
+    if not (args.bench or args.metrics or args.ledger or args.backends):
+        parser.error(
+            "nothing to check: pass --bench, --metrics, --ledger and/or --backends"
+        )
 
     with open(args.baseline) as handle:
         baseline = json.load(handle)
@@ -234,6 +263,22 @@ def main(argv=None) -> int:
             observed, baseline_metrics, metrics_tolerance
         )
 
+    backends_doc = None
+    backends_warnings = []
+    if args.backends:
+        with open(args.backends) as handle:
+            backends_doc = json.load(handle)
+        max_overhead = float(
+            baseline.get("backends", {}).get("max_overhead", 4.0)
+        )
+        for entry in backends_doc.get("backends", []):
+            if entry.get("overhead", 0.0) > max_overhead:
+                backends_warnings.append(
+                    f"backend {entry['backend']}: {entry['wall_s']:g}s is "
+                    f"{entry['overhead']:g}x the inproc reference "
+                    f"(watermark {max_overhead:g}x)"
+                )
+
     ledger_findings = []
     ledger_warnings = []
     if args.ledger:
@@ -269,6 +314,8 @@ def main(argv=None) -> int:
         "scaling": scaling,
         "metrics": metrics_checked,
         "metrics_warnings": metrics_warnings,
+        "backends": backends_doc,
+        "backends_warnings": backends_warnings,
         "ledger": ledger_findings,
         "ledger_warnings": ledger_warnings,
         "strict": args.strict,
@@ -292,6 +339,12 @@ def main(argv=None) -> int:
         status = "DRIFTED" if drifted else "ok"
         print(f"  {name:<36s} {info['measured']!s:>12s} "
               f"(baseline {info['baseline']!s}, drift {drift_text}) {status}")
+    if backends_warnings:
+        # Backend overhead is environment-sensitive (CI machines vary);
+        # it informs the reviewer and never gates, even under --strict.
+        print("BACKEND OVERHEAD (warning only):", file=sys.stderr)
+        for warning in backends_warnings:
+            print(f"  {warning}", file=sys.stderr)
     drift_warnings = metrics_warnings + ledger_warnings
     if drift_warnings:
         # Counter drift informs by default; --strict turns it into a gate.

@@ -14,6 +14,13 @@ checkpoint store, outcomes merge deterministically in submission order,
 and a killed worker degrades to a single failure record.  ``--jobs 1``
 forces the serial path.
 
+``--backend`` picks *where* the batch executes: ``inproc`` (serial
+reference), ``procpool`` (local process pool), or ``remote`` (socket
+coordinator driving ``worker`` processes given by ``--workers``, with
+heartbeats, work stealing, resubmission, and procpool fallback).  The
+default ``auto`` maps ``--jobs 1`` to inproc and anything wider to
+procpool.  Whatever the backend, the report is bit-identical.
+
 Examples::
 
     python -m repro.experiments fig3_10
@@ -27,6 +34,12 @@ Examples::
     python -m repro.experiments all --fast --ledger-dir .ledger  # history
     python -m repro.experiments ledger list --ledger-dir .ledger
     python -m repro.experiments ledger html --ledger-dir .ledger
+    python -m repro.experiments worker --listen 127.0.0.1:7070  # fleet worker
+    python -m repro.experiments all --fast --backend remote \
+        --workers 127.0.0.1:7070 --workers 127.0.0.1:7071 \
+        --checkpoint-dir .ckpt   # distributed fan-out
+    python -m repro.experiments all --fast --backend remote \
+        --workers 127.0.0.1:7070 --chaos-net partition   # fleet self-test
 
 With ``--metrics-out`` / ``--trace-out`` / ``--profile`` the run is
 instrumented end to end (see :mod:`repro.obs`): counters, gauges and
@@ -54,18 +67,16 @@ from dataclasses import replace
 
 from repro import obs
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
-from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS
 from repro.runtime import (
     CheckpointStore,
     RunOutcome,
     WorkerSpec,
     configure_logging,
     default_jobs,
-    run_fleet,
-    run_many,
 )
-from repro.runtime.chaos import chaos_resolve
+from repro.runtime.backends import BACKEND_NAMES, RemoteOptions, resolve_backend
+from repro.runtime.chaos import NET_MODES, ChaosNet
 from repro.runtime.log import get_logger
 
 logger = get_logger("cli")
@@ -105,6 +116,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 = one per CPU, 1 = serial; default: 0)",
     )
     runtime.add_argument(
+        "--backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend (auto: inproc when --jobs 1, else procpool)",
+    )
+    runtime.add_argument(
+        "--workers",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="remote worker address for --backend remote (repeatable)",
+    )
+    runtime.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="remote worker heartbeat period (default: 0.5)",
+    )
+    runtime.add_argument(
+        "--heartbeat-deadline-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="silence past this declares a busy remote worker dead "
+        "(default: 5.0)",
+    )
+    runtime.add_argument(
         "--checkpoint-dir",
         help="persist chips/error traces here and resume from previous runs",
     )
@@ -119,6 +158,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="re-run a failed experiment up to N extra times",
+    )
+    runtime.add_argument(
+        "--retry-backoff-s",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="base of the exponential inter-retry backoff with "
+        "deterministic jitter (0 = retry immediately; default: 0)",
+    )
+    runtime.add_argument(
+        "--claim-stale-s",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="checkpoint claims older than this are presumed orphaned "
+        "and broken (default: 600)",
     )
     runtime.add_argument(
         "--timeout-s",
@@ -139,7 +194,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="ID",
         help="self-test: kill the worker running this experiment "
-        "(requires --jobs >= 2; repeatable)",
+        "(requires a multi-process backend; repeatable)",
+    )
+    runtime.add_argument(
+        "--chaos-net",
+        metavar="MODE[:VICTIM]",
+        help="self-test: inject a network fault into --backend remote "
+        f"(modes: {', '.join(NET_MODES)}; victim is a worker index, "
+        "default 0)",
     )
     runtime.add_argument(
         "-v", "--verbose",
@@ -211,6 +273,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.qa.cli import qa_main
 
         return qa_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.runtime.backends.worker import worker_main
+
+        return worker_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
@@ -231,9 +297,31 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--timeout-s must be positive")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.retry_backoff_s < 0:
+        parser.error("--retry-backoff-s must be >= 0")
+    if args.claim_stale_s <= 0:
+        parser.error("--claim-stale-s must be positive")
+    if args.heartbeat_s <= 0 or args.heartbeat_deadline_s <= 0:
+        parser.error("--heartbeat-s and --heartbeat-deadline-s must be positive")
     if args.profile_top < 1:
         parser.error("--profile-top must be >= 1")
     jobs = args.jobs or default_jobs()
+
+    backend_name = args.backend
+    if backend_name == "auto":
+        backend_name = "inproc" if jobs == 1 else "procpool"
+    if backend_name == "remote" and not args.workers:
+        parser.error("--backend remote requires at least one --workers HOST:PORT")
+    if args.workers and backend_name != "remote":
+        parser.error("--workers only applies to --backend remote")
+    if args.chaos_net and backend_name != "remote":
+        parser.error("--chaos-net only applies to --backend remote")
+    chaos_net = None
+    if args.chaos_net:
+        try:
+            chaos_net = ChaosNet.parse(args.chaos_net)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for experiment_id in ids:
@@ -245,8 +333,13 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in args.chaos_kill:
         if experiment_id not in EXPERIMENTS:
             parser.error(f"unknown --chaos-kill experiment {experiment_id!r}")
-    if args.chaos_kill and jobs < 2:
-        parser.error("--chaos-kill requires --jobs >= 2 (it takes a worker down)")
+    if args.chaos_kill and (
+        backend_name == "inproc" or (backend_name == "procpool" and jobs < 2)
+    ):
+        parser.error(
+            "--chaos-kill requires --jobs >= 2 or a remote backend "
+            "(it takes a worker down)"
+        )
 
     # Telemetry is on iff any telemetry flag was given; the recorder is
     # installed before the store so checkpoint counters are captured.
@@ -263,7 +356,7 @@ def main(argv: list[str] | None = None) -> int:
             profile=bool(args.profile),
             profile_top=args.profile_top,
         ))
-        if jobs > 1:
+        if backend_name != "inproc":
             telemetry_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
 
     store = None
@@ -286,49 +379,50 @@ def main(argv: list[str] | None = None) -> int:
                 f"{outcome.failure.message}]\n"
             )
 
-    if jobs > 1:
-        # Parallel fan-out.  Workers rendezvous through a shared
-        # checkpoint store; without a user-provided one, an ephemeral
-        # store still lets workers share chips and error traces.
-        ephemeral_dir = None
-        checkpoint_dir = args.checkpoint_dir
-        if not checkpoint_dir:
-            ephemeral_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
-            checkpoint_dir = ephemeral_dir
-        spec = WorkerSpec(
-            config=config,
-            checkpoint_dir=checkpoint_dir,
-            resume=not args.no_resume,
-            retries=args.retries,
-            timeout_s=args.timeout_s,
-            chaos_fail=tuple(args.chaos_fail),
-            chaos_kill=tuple(args.chaos_kill),
-            verbose=args.verbose,
-            telemetry_dir=telemetry_dir,
-            profile=bool(args.profile),
+    # Fan-out backends rendezvous through a shared checkpoint store;
+    # without a user-provided one, an ephemeral store still lets
+    # workers share chips and error traces.  (The serial inproc
+    # backend only persists when the user asked for it.)
+    ephemeral_dir = None
+    checkpoint_dir = args.checkpoint_dir
+    if not checkpoint_dir and backend_name != "inproc":
+        ephemeral_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+        checkpoint_dir = ephemeral_dir
+    spec = WorkerSpec(
+        config=config,
+        checkpoint_dir=checkpoint_dir,
+        resume=not args.no_resume,
+        retries=args.retries,
+        timeout_s=args.timeout_s,
+        retry_backoff_s=args.retry_backoff_s,
+        chaos_fail=tuple(args.chaos_fail),
+        chaos_kill=tuple(args.chaos_kill),
+        verbose=args.verbose,
+        claim_stale_s=args.claim_stale_s,
+        telemetry_dir=telemetry_dir,
+        profile=bool(args.profile),
+    )
+    remote_options = None
+    if backend_name == "remote":
+        remote_options = RemoteOptions(
+            workers=tuple(args.workers),
+            heartbeat_s=args.heartbeat_s,
+            heartbeat_deadline_s=args.heartbeat_deadline_s,
+            chaos_net=chaos_net,
         )
-        logger.info("fanning %d experiment(s) out across %d worker(s)", len(ids), jobs)
-        try:
-            report, worker_stats = run_fleet(
-                ids, spec, jobs=jobs, on_outcome=report_outcome
-            )
-        finally:
-            if ephemeral_dir is not None:
-                shutil.rmtree(ephemeral_dir, ignore_errors=True)
-        if store is not None:
-            store.stats.merge(worker_stats)
-    else:
-        ctx = ExperimentContext(config, store=store)
-        resolve = get_experiment
-        if args.chaos_fail:
-            resolve = chaos_resolve(set(args.chaos_fail), get_experiment)
-        report = run_many(
-            ids, ctx,
-            retries=args.retries,
-            timeout_s=args.timeout_s,
-            resolve=resolve,
-            on_outcome=report_outcome,
+    backend = resolve_backend(backend_name, remote_options=remote_options)
+    logger.info(
+        "running %d experiment(s) on the %s backend", len(ids), backend.name
+    )
+    try:
+        report, worker_stats = backend.run(
+            ids, spec, jobs=jobs, on_outcome=report_outcome
         )
+    finally:
+        if ephemeral_dir is not None:
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)
+    if store is not None:
+        store.stats.merge(worker_stats)
 
     # Fold the parent's recorder and every worker shard into the final
     # telemetry documents before any reporting happens.

@@ -46,6 +46,8 @@ SCHEDULE_DEPENDENT_PREFIXES = (
     "worker.",
     "prefetch.",
     "parallel.",
+    "backend.",
+    "executor.backoff",
     "span.",
     "sta.",
     "runner.trace",

@@ -9,11 +9,17 @@ reproduction harness itself:
   expensive artefacts (chips, error traces) enabling checkpoint/resume.
 * :mod:`repro.runtime.parallel` — process-pool fan-out of artefacts and
   experiments with deterministic merge and crash containment.
-* :mod:`repro.runtime.chaos` — deliberate fault injection so tests can
-  prove the layers above degrade gracefully.
+* :mod:`repro.runtime.backends` — pluggable executor backends (inproc /
+  procpool / remote socket fleet) behind one bit-identical contract.
+* :mod:`repro.runtime.backoff` — exponential backoff with deterministic
+  seeded jitter, shared by retries and fleet reconnects.
+* :mod:`repro.runtime.chaos` — deliberate fault injection (experiment,
+  store, and network faults) so tests can prove the layers above
+  degrade gracefully.
 * :mod:`repro.runtime.log` — shared structured logging.
 """
 
+from repro.runtime.backoff import backoff_delay, jitter_fraction
 from repro.runtime.checkpoint import (
     CheckpointStore,
     StoreStats,
@@ -48,7 +54,9 @@ __all__ = [
     "StoreStats",
     "WorkerSpec",
     "artefact_key",
+    "backoff_delay",
     "config_fingerprint",
+    "jitter_fraction",
     "configure_logging",
     "default_jobs",
     "get_logger",

@@ -1,0 +1,134 @@
+"""Length-prefixed JSON frame codec for the remote backend.
+
+Wire format: a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  JSON keeps the protocol inspectable (a heartbeat
+is ``{"type": "heartbeat"}``, not opaque bytes); binary artefacts
+(pickled experiment outcomes, the shipped :class:`WorkerSpec`) ride
+inside frames as base64 fields, so the framing layer never needs to
+understand them.
+
+Failure philosophy mirrors the checkpoint store: malformed input is
+*detected*, never trusted.  A frame that claims an absurd length, a
+stream that ends mid-frame (the classic torn-write / dead-peer
+signature), and bytes that do not decode as a JSON object all raise
+:class:`FrameError` — the caller treats the connection as lost and the
+task-resubmission machinery takes over.  Pickle payloads are only ever
+exchanged between a coordinator and workers the operator launched
+(same trust domain as the process pool); the frames themselves stay
+plain JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+#: a frame longer than this is a protocol error, not a big result —
+#: generous enough for any pickled RunOutcome the harness produces
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+_RECV_CHUNK = 65536
+
+
+class FrameError(RuntimeError):
+    """Raised on any malformed, truncated, or oversized frame."""
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """``payload`` as one length-prefixed JSON frame."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(blob: bytes) -> tuple[dict[str, Any], bytes]:
+    """First frame in ``blob`` plus the unconsumed remainder.
+
+    Raises :class:`FrameError` if the buffer holds less than one
+    complete frame ("truncated frame") or the payload is not a JSON
+    object — truncation is indistinguishable from a dead peer, and both
+    are handled identically by the caller.
+    """
+    if len(blob) < _HEADER.size:
+        raise FrameError(f"truncated frame: {len(blob)} header byte(s)")
+    (length,) = _HEADER.unpack_from(blob)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame claims {length} bytes (max {MAX_FRAME_BYTES})")
+    end = _HEADER.size + length
+    if len(blob) < end:
+        raise FrameError(
+            f"truncated frame: want {length} payload byte(s), have {len(blob) - _HEADER.size}"
+        )
+    try:
+        payload = json.loads(blob[_HEADER.size : end].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame payload must be an object, got {type(payload).__name__}")
+    return payload, blob[end:]
+
+
+def pack_pickle(obj: Any) -> str:
+    """Arbitrary picklable object as a base64 frame field."""
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def unpack_pickle(text: str) -> Any:
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise FrameError(f"undecodable pickle payload: {exc}") from exc
+
+
+class FrameStream:
+    """Blocking frame reader/writer over one connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, payload: dict[str, Any]) -> None:
+        self.sock.sendall(encode_frame(payload))
+
+    def recv(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """The next frame, or None on clean EOF at a frame boundary.
+
+        EOF *inside* a frame — the peer died mid-send — raises
+        :class:`FrameError`.  ``timeout`` bounds the whole read;
+        expiring raises ``TimeoutError`` (``socket.timeout``).
+        """
+        self.sock.settimeout(timeout)
+        while not self._buffered_frame_complete():
+            chunk = self.sock.recv(_RECV_CHUNK)
+            if not chunk:
+                if self._buffer:
+                    raise FrameError(
+                        f"connection closed mid-frame ({len(self._buffer)} byte(s) pending)"
+                    )
+                return None
+            self._buffer += chunk
+        payload, self._buffer = decode_frame(self._buffer)
+        return payload
+
+    def _buffered_frame_complete(self) -> bool:
+        """True once the buffer holds a whole frame; an oversized length
+        claim raises immediately instead of waiting for 256 MiB of
+        garbage to arrive."""
+        if len(self._buffer) < _HEADER.size:
+            return False
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FrameError(f"frame claims {length} bytes (max {MAX_FRAME_BYTES})")
+        return len(self._buffer) >= _HEADER.size + length
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,194 @@
+"""The remote worker: a socket server that executes supervised tasks.
+
+Run one per machine (or per core) with::
+
+    python -m repro.experiments worker --listen 0.0.0.0:7070
+
+The worker binds, prints ``READY <port>`` (port 0 picks an ephemeral
+port — the printed value is the real one, which is how tests and the CI
+fleet smoke wire coordinators to workers), then accepts coordinator
+sessions forever.  Each session:
+
+1. receives a ``hello`` frame carrying the pickled
+   :class:`~repro.runtime.parallel.WorkerSpec` and the heartbeat period,
+   and answers ``hello_ok``;
+2. loops on ``task`` frames — each one runs
+   :func:`~repro.runtime.parallel._run_experiment_task` (the same
+   supervised body the process pool uses, chaos interposition and all)
+   in a daemon thread while the session thread streams heartbeats;
+3. replies with a ``result`` frame (pickled outcome + store-stats
+   counters) or, if the task machinery itself broke, a ``task_error``;
+4. ends on ``bye`` or EOF.
+
+Sessions are threaded so a coordinator that declared this worker dead
+(a partition it couldn't see through) can reconnect while the orphaned
+session is still computing — the stale session's eventual result frame
+dies on its closed socket, and the shared checkpoint store's claim
+protocol makes the duplicated computation harmless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+from typing import Any
+
+from repro import obs
+from repro.runtime.backends.frames import FrameError, FrameStream, pack_pickle, unpack_pickle
+from repro.runtime.log import configure, get_logger
+from repro.runtime.parallel import WorkerSpec, _run_experiment_task
+
+logger = get_logger("worker")
+
+PROTOCOL_VERSION = 1
+
+
+def _run_task(
+    stream: FrameStream, spec: WorkerSpec, experiment_id: str, heartbeat_s: float
+) -> None:
+    """Execute one task, heartbeating until the body thread finishes."""
+    box: dict[str, Any] = {}
+
+    def body() -> None:
+        try:
+            box["outcome"], box["stats"] = _run_experiment_task(spec, experiment_id)
+        except BaseException as exc:  # reported, never kills the session
+            box["error"] = f"{type(exc).__name__}: {exc}"
+
+    thread = threading.Thread(
+        target=body, name=f"task-{experiment_id}", daemon=True
+    )
+    thread.start()
+    # the immediate ack doubles as "task accepted" for the deadline clock
+    stream.send({"type": "heartbeat", "experiment_id": experiment_id})
+    while thread.is_alive():
+        thread.join(timeout=heartbeat_s)
+        if thread.is_alive():
+            stream.send({"type": "heartbeat", "experiment_id": experiment_id})
+    if "error" in box:
+        logger.warning("task %s broke: %s", experiment_id, box["error"])
+        stream.send(
+            {
+                "type": "task_error",
+                "experiment_id": experiment_id,
+                "message": box["error"],
+            }
+        )
+        return
+    stream.send(
+        {
+            "type": "result",
+            "experiment_id": experiment_id,
+            "outcome": pack_pickle(box["outcome"]),
+            "stats": box["stats"] or {},
+        }
+    )
+
+
+def _serve_session(sock: socket.socket, peer: str) -> None:
+    """One coordinator connection, hello through bye."""
+    stream = FrameStream(sock)
+    try:
+        hello = stream.recv(timeout=10.0)
+        if hello is None or hello.get("type") != "hello":
+            logger.warning("%s: no hello (got %r); dropping", peer, hello)
+            return
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            logger.warning(
+                "%s: protocol %r != %d; dropping",
+                peer, hello.get("protocol"), PROTOCOL_VERSION,
+            )
+            return
+        spec: WorkerSpec = unpack_pickle(hello["spec"])
+        heartbeat_s = float(hello.get("heartbeat_s", 0.5))
+        stream.send({"type": "hello_ok", "host": socket.gethostname()})
+        logger.info("%s: session open (heartbeat %.2fs)", peer, heartbeat_s)
+        while True:
+            frame = stream.recv(timeout=None)
+            if frame is None or frame.get("type") == "bye":
+                logger.info("%s: session closed", peer)
+                return
+            if frame.get("type") == "task":
+                experiment_id = frame["experiment_id"]
+                logger.info("%s: task %s", peer, experiment_id)
+                obs.inc("backend.worker_tasks")
+                _run_task(stream, spec, experiment_id, heartbeat_s)
+            else:
+                logger.warning("%s: unknown frame %r", peer, frame.get("type"))
+    except TimeoutError:
+        logger.warning("%s: hello timed out; dropping", peer)
+    except (OSError, FrameError) as exc:
+        # the coordinator vanished mid-session — from here that is
+        # routine (it will blame, resubmit, and maybe reconnect)
+        logger.info("%s: connection lost: %s", peer, exc)
+    finally:
+        stream.close()
+
+
+def serve(host: str, port: int, max_sessions: int | None = None) -> None:
+    """Bind, announce readiness, accept sessions until interrupted.
+
+    ``max_sessions`` bounds the accept loop (tests and the CI smoke use
+    it so a worker winds down by itself instead of needing a kill).
+    """
+    server = socket.create_server((host, port))
+    bound_port = server.getsockname()[1]
+    print(f"READY {bound_port}", flush=True)
+    logger.info("worker listening on %s:%d", host, bound_port)
+    accepted = 0
+    sessions: list[threading.Thread] = []
+    try:
+        while max_sessions is None or accepted < max_sessions:
+            sock, address = server.accept()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            accepted += 1
+            peer = f"{address[0]}:{address[1]}"
+            thread = threading.Thread(
+                target=_serve_session,
+                args=(sock, peer),
+                name=f"session-{peer}",
+                daemon=True,
+            )
+            thread.start()
+            sessions.append(thread)
+    except KeyboardInterrupt:
+        logger.info("worker interrupted; exiting")
+    finally:
+        server.close()
+    for thread in sessions:  # bounded runs drain before exiting
+        thread.join()
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="serve experiment tasks to a remote-backend coordinator",
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks a free port (printed as READY <port>)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N coordinator sessions (default: run forever)",
+    )
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    args = parser.parse_args(argv)
+    configure(args.verbose)
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"invalid --listen address {args.listen!r} (want HOST:PORT)")
+    serve(host or "127.0.0.1", port, max_sessions=args.max_sessions)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import pickle
+import socket
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -252,22 +253,29 @@ class CheckpointStore:
         except OSError:
             return False  # unwritable store: claimless fallback still works
         with os.fdopen(fd, "w") as handle:
-            handle.write(f"{os.getpid()}\n")
+            handle.write(f"{os.getpid()} {socket.gethostname()}\n")
         self.stats.claims_won += 1
         obs.inc("checkpoint.claims_won")
         return True
 
     @staticmethod
     def _claim_owner_dead(path: Path) -> bool:
-        """True iff the claim records a local pid that no longer exists.
+        """True iff the claim records a same-host pid that no longer exists.
 
-        Claims are only meaningful between workers of one machine's
-        process pool, so a pid liveness probe is sound; an unreadable
-        or foreign-looking claim falls back to the age rule.
+        The remote backend shares the store across machines, so the
+        claim records ``pid hostname`` and the pid liveness probe only
+        applies to claims from *this* host — a foreign host's pid space
+        says nothing about ours.  Foreign, unreadable, or legacy
+        pid-only-from-elsewhere claims fall back to the age rule.
         """
         try:
-            pid = int(path.read_text().strip())
-        except (OSError, ValueError):
+            fields = path.read_text().split()
+            pid = int(fields[0])
+        except (OSError, ValueError, IndexError):
+            return False
+        # a second field is the owner's hostname (pre-fleet claims have
+        # none and are always local)
+        if len(fields) > 1 and fields[1] != socket.gethostname():
             return False
         if pid <= 0 or pid == os.getpid():
             return False
