@@ -1,0 +1,67 @@
+"""Throughput of the batched SoA DTA kernel (chip·cycles per second).
+
+``test_batch_dta`` is the gated number: one ``batch_timings`` call
+covering a whole fabricated population.  ``test_batch_dta_perchip``
+times the same workload through the single-chip API, one chip at a
+time, so the report (and ``BENCH_ci.json``) always carries the
+batch-vs-per-chip speedup alongside the absolute throughput; it is
+deliberately not baselined — it exists for comparison, not gating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.trace import BENCHMARKS, generate_trace
+from repro.circuits.ex_stage import build_ex_stage
+from repro.pv.montecarlo import fabricate_population
+from repro.timing.dta import cycle_timings
+
+NUM_CHIPS = 8
+NUM_CYCLES = 2_000
+WIDTH = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """(stage, population, encoded inputs) for the FAST-sized kernel run."""
+    stage = build_ex_stage(width=WIDTH)
+    population = fabricate_population(
+        stage.alu.netlist, stage.corner, seeds=range(NUM_CHIPS)
+    )
+    trace = generate_trace(BENCHMARKS["vortex"], NUM_CYCLES, width=WIDTH, seed=0)
+    return stage, population, trace.encode_inputs(stage.alu)
+
+
+def test_batch_dta(benchmark, workload):
+    stage, population, inputs = workload
+    batch = benchmark.pedantic(
+        stage.batch_timings,
+        args=(population.delay_matrix, inputs),
+        rounds=3,
+        iterations=1,
+    )
+    assert batch.t_late.shape == (NUM_CHIPS, NUM_CYCLES - 1)
+    chip_cycles = population.num_chips * (inputs.shape[1] - 1)
+    benchmark.extra_info["chip_cycles"] = chip_cycles
+    benchmark.extra_info["chip_cycles_per_s"] = round(
+        chip_cycles / benchmark.stats.stats.mean
+    )
+
+
+def test_batch_dta_perchip(benchmark, workload):
+    stage, population, inputs = workload
+
+    def per_chip():
+        return [
+            cycle_timings(stage.circuit, inputs, population.delays[i])
+            for i in range(population.num_chips)
+        ]
+
+    timings = benchmark.pedantic(per_chip, rounds=3, iterations=1)
+    assert len(timings) == NUM_CHIPS
+    chip_cycles = population.num_chips * (inputs.shape[1] - 1)
+    benchmark.extra_info["chip_cycles"] = chip_cycles
+    benchmark.extra_info["chip_cycles_per_s"] = round(
+        chip_cycles / benchmark.stats.stats.mean
+    )

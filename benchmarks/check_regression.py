@@ -233,6 +233,34 @@ def main(argv=None) -> int:
 
     regressions = []
     checked = {}
+    if scaling is not None:
+        # Gate the fan-out wall-clock per jobs level, same tolerance as
+        # the benchmark means.  Baselines are padded over a warm run;
+        # a missing level (the bench's --jobs set changed) also fails,
+        # like a baselined benchmark that stopped running.
+        walls = {
+            str(entry["jobs"]): float(entry["wall_s"])
+            for entry in scaling.get("scaling", [])
+        }
+        for jobs, allowed_wall in baseline.get("scaling_wall_s", {}).items():
+            limit = allowed_wall * (1.0 + tolerance)
+            measured = walls.get(str(jobs))
+            checked[f"parallel_scaling_jobs{jobs}"] = {
+                "baseline_s": allowed_wall,
+                "limit_s": round(limit, 3),
+                "measured_s": round(measured, 3) if measured is not None else None,
+            }
+            if measured is None:
+                regressions.append(
+                    f"parallel_scaling_jobs{jobs}: baselined jobs level "
+                    f"did not run"
+                )
+            elif measured > limit:
+                regressions.append(
+                    f"parallel_scaling_jobs{jobs}: {measured:.2f}s exceeds "
+                    f"{allowed_wall:.2f}s baseline by more than "
+                    f"{tolerance:.0%} (limit {limit:.2f}s)"
+                )
     if args.bench:
         for name, allowed_mean in baseline.get("bench_mean_s", {}).items():
             limit = allowed_mean * (1.0 + tolerance)

@@ -25,7 +25,7 @@ from repro.gates.netlist import Netlist
 from repro.pv.chip import ChipSample, fabricate_chip
 from repro.pv.delaymodel import Corner, NTC, nominal_delay_factor, nominal_gate_delays
 from repro.pv.varius import DEFAULT_PARAMS, VariusParams
-from repro.timing.dta import CycleTimings, cycle_timings
+from repro.timing.dta import BatchCycleTimings, CycleTimings, batch_cycle_timings, cycle_timings
 from repro.timing.levelize import LevelizedCircuit, levelize
 from repro.timing.sta import arrival_times
 
@@ -86,6 +86,17 @@ class ExStage:
     ) -> CycleTimings:
         """Per-cycle dynamic timing of an input-vector stream on ``chip``."""
         return cycle_timings(self.circuit, inputs, chip.delays, chunk=chunk)
+
+    def batch_timings(
+        self, delay_matrix: np.ndarray, inputs: np.ndarray, chunk: int = 2048
+    ) -> BatchCycleTimings:
+        """Population-level timing: one kernel call for all chips.
+
+        ``delay_matrix`` is ``(num_chips, num_nodes)`` -- a
+        :class:`~repro.pv.montecarlo.ChipPopulation`'s ``delays`` or
+        :func:`repro.pv.chip.delay_matrix` over a chip list.
+        """
+        return batch_cycle_timings(self.circuit, inputs, delay_matrix, chunk=chunk)
 
 
 def _leaf_depths(num_leaves: int) -> np.ndarray:

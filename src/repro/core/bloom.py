@@ -13,6 +13,16 @@ from __future__ import annotations
 import zlib
 from typing import Hashable, Iterable
 
+#: (item, num_bits, num_hashes) -> bit positions.  The schemes probe a
+#: small recurring key population (static-instruction ids, opcode
+#: pairs) hundreds of thousands of times per simulation, and the
+#: repr+CRC32 derivation dominated their profile; the memo makes the
+#: probe a dict hit.  Positions are a pure function of the key, so the
+#: cache can never change behaviour, and the size cap only bounds
+#: memory -- overflow means later keys are derived on the fly.
+_POSITION_CACHE: dict[tuple, tuple[int, ...]] = {}
+_POSITION_CACHE_MAX = 1 << 16
+
 
 class BloomFilter:
     """A classic Bloom filter over hashable items.
@@ -36,21 +46,33 @@ class BloomFilter:
         self._bits = bytearray((num_bits + 7) // 8)
         self._count = 0
 
-    def _positions(self, item: Hashable) -> list[int]:
-        key = repr(item).encode("utf-8")
-        return [
-            zlib.crc32(key, salt) % self.num_bits for salt in range(self.num_hashes)
-        ]
+    def _positions(self, item: Hashable) -> tuple[int, ...]:
+        key = (item, self.num_bits, self.num_hashes)
+        positions = _POSITION_CACHE.get(key)
+        if positions is None:
+            raw = repr(item).encode("utf-8")
+            positions = tuple(
+                zlib.crc32(raw, salt) % self.num_bits
+                for salt in range(self.num_hashes)
+            )
+            if len(_POSITION_CACHE) < _POSITION_CACHE_MAX:
+                _POSITION_CACHE[key] = positions
+        return positions
 
     def add(self, item: Hashable) -> None:
+        bits = self._bits
         for pos in self._positions(item):
-            self._bits[pos // 8] |= 1 << (pos % 8)
+            bits[pos >> 3] |= 1 << (pos & 7)
         self._count += 1
 
     def __contains__(self, item: Hashable) -> bool:
-        return all(
-            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
-        )
+        # hottest probe in the scheme simulations -- a plain loop beats
+        # all()-over-genexpr by avoiding the generator frame per call
+        bits = self._bits
+        for pos in self._positions(item):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
 
     def clear(self) -> None:
         self._bits = bytearray(len(self._bits))

@@ -24,7 +24,7 @@ from repro import obs
 from repro.arch.operands import operand_size_class, owm_flag
 from repro.arch.trace import InstructionTrace
 from repro.circuits.ex_stage import ExStage
-from repro.pv.chip import ChipSample
+from repro.pv.chip import ChipSample, delay_matrix
 from repro.timing.dta import ERR_CE, ERR_NONE, ERR_SE_MAX, ERR_SE_MIN
 
 
@@ -75,24 +75,20 @@ class ErrorTrace:
         }
 
 
-def build_error_trace(
+def _assemble_trace(
     stage: ExStage,
-    chip: ChipSample,
     trace: InstructionTrace,
-    chunk: int = 2048,
+    timings,
+    owm: np.ndarray,
+    size_a: np.ndarray,
+    size_b: np.ndarray,
 ) -> ErrorTrace:
-    """Run DTA of ``trace`` on ``chip`` and classify every cycle."""
-    if trace.width != stage.width:
-        raise ValueError(
-            f"trace width {trace.width} does not match stage width {stage.width}"
-        )
-    inputs = trace.encode_inputs(stage.alu)
-    timings = stage.timings(chip, inputs, chunk=chunk)
-    err_class = timings.classify(stage.clock_period, stage.hold_constraint)
+    """Classify one chip's timings and package the scheme-facing trace.
 
-    owm = owm_flag(trace.a_values, trace.b_values, trace.width)
-    size_a = operand_size_class(trace.a_values, trace.width)
-    size_b = operand_size_class(trace.b_values, trace.width)
+    Shared by the scalar and batch builders so both emit identical
+    telemetry and identical :class:`ErrorTrace` payloads.
+    """
+    err_class = timings.classify(stage.clock_period, stage.hold_constraint)
 
     if obs.enabled():
         obs.inc("etrace.built", benchmark=trace.name, corner=stage.corner.name)
@@ -124,3 +120,68 @@ def build_error_trace(
         t_early=timings.t_early,
         err_class=err_class,
     )
+
+
+def build_error_trace(
+    stage: ExStage,
+    chip: ChipSample,
+    trace: InstructionTrace,
+    chunk: int = 2048,
+    inputs: np.ndarray | None = None,
+) -> ErrorTrace:
+    """Run DTA of ``trace`` on ``chip`` and classify every cycle.
+
+    ``inputs`` optionally supplies the pre-encoded primary-input matrix
+    (it must equal ``trace.encode_inputs(stage.alu)`` — e.g. a
+    shared-memory view published by the fleet parent); encoding is
+    deterministic, so supplying it never changes results.
+    """
+    if trace.width != stage.width:
+        raise ValueError(
+            f"trace width {trace.width} does not match stage width {stage.width}"
+        )
+    if inputs is None:
+        inputs = trace.encode_inputs(stage.alu)
+    timings = stage.timings(chip, inputs, chunk=chunk)
+
+    owm = owm_flag(trace.a_values, trace.b_values, trace.width)
+    size_a = operand_size_class(trace.a_values, trace.width)
+    size_b = operand_size_class(trace.b_values, trace.width)
+
+    return _assemble_trace(stage, trace, timings, owm, size_a, size_b)
+
+
+def build_error_traces_batch(
+    stage: ExStage,
+    chips: "list[ChipSample] | tuple[ChipSample, ...]",
+    trace: InstructionTrace,
+    chunk: int = 2048,
+    inputs: np.ndarray | None = None,
+) -> list[ErrorTrace]:
+    """Run DTA of ``trace`` on a whole chip population in one kernel call.
+
+    One :func:`~repro.timing.dta.batch_cycle_timings` call times every
+    chip; trace encoding, logic evaluation, and OWM/operand-size
+    classification are computed once and shared.  Entry ``i`` is
+    bit-identical to ``build_error_trace(stage, chips[i], trace, chunk)``
+    (the batch kernel's per-chip rows are bit-identical to the scalar
+    path, and everything else here is delay-independent).
+    """
+    if not chips:
+        raise ValueError("need at least one chip")
+    if trace.width != stage.width:
+        raise ValueError(
+            f"trace width {trace.width} does not match stage width {stage.width}"
+        )
+    if inputs is None:
+        inputs = trace.encode_inputs(stage.alu)
+    batch = stage.batch_timings(delay_matrix(chips), inputs, chunk=chunk)
+
+    owm = owm_flag(trace.a_values, trace.b_values, trace.width)
+    size_a = operand_size_class(trace.a_values, trace.width)
+    size_b = operand_size_class(trace.b_values, trace.width)
+
+    return [
+        _assemble_trace(stage, trace, batch.chip(i), owm, size_a, size_b)
+        for i in range(len(chips))
+    ]

@@ -17,18 +17,31 @@ recomputation (see the checkpoint module's failure philosophy).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import obs
 from repro.arch.trace import BENCHMARKS, InstructionTrace, generate_trace
 from repro.circuits.alu import Alu, build_alu
 from repro.circuits.ex_stage import ExStage, build_ex_stage
-from repro.core.scheme_sim import ErrorTrace, build_error_trace
+from repro.core.scheme_sim import ErrorTrace, build_error_trace, build_error_traces_batch
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.gates.netlist import Netlist
 from repro.pv.chip import ChipSample, fabricate_chip
 from repro.pv.delaymodel import NTC, STC, Corner
+from repro.pv.montecarlo import fabricate_population
 from repro.runtime.checkpoint import CheckpointStore, artefact_key
+from repro.runtime.shm import ShmCatalog, ShmPublisher, ShmReader
 from repro.timing.levelize import LevelizedCircuit, levelize
 
 _CORNERS = {"STC": STC, "NTC": NTC}
+
+
+def _population_key(kind: str, corner: str, buffered: bool) -> str:
+    return f"pop/{kind}/{corner}/{int(buffered)}"
+
+
+def _inputs_key(benchmark: str, cycles: int, width: int) -> str:
+    return f"inputs/{benchmark}/{cycles}/{width}"
 
 
 class ExperimentContext:
@@ -38,9 +51,11 @@ class ExperimentContext:
         self,
         config: ExperimentConfig = DEFAULT_CONFIG,
         store: CheckpointStore | None = None,
+        shared: ShmReader | None = None,
     ) -> None:
         self.config = config
         self.store = store
+        self.shared = shared
         self._stages: dict[tuple, ExStage] = {}
         self._alus: dict[tuple, tuple[Alu, LevelizedCircuit]] = {}
         self._chips: dict[tuple, ChipSample] = {}
@@ -60,6 +75,53 @@ class ExperimentContext:
 
     def corner(self, name: str) -> Corner:
         return _CORNERS[name]
+
+    # ----------------------------------------------------------------
+    # shared-memory consumption (strictly an accelerator: any miss or
+    # shape mismatch falls back to local computation)
+    # ----------------------------------------------------------------
+    def _shared_chip(
+        self, kind: str, seed: int, corner: str, buffered: bool, netlist: Netlist
+    ) -> ChipSample | None:
+        """Rebuild one chip from the parent-published population, if present."""
+        if self.shared is None:
+            return None
+        group = _population_key(kind, corner, buffered)
+        seeds = self.shared.meta.get(group)
+        if not seeds or seed not in seeds:
+            return None
+        delays = self.shared.get(f"{group}/delays")
+        delta_vth = self.shared.get(f"{group}/delta_vth")
+        nominal = self.shared.get(f"{group}/nominal")
+        affected = self.shared.get(f"{group}/affected")
+        offsets = self.shared.get(f"{group}/aff_offsets")
+        if any(a is None for a in (delays, delta_vth, nominal, affected, offsets)):
+            return None
+        if delays.shape != (len(seeds), netlist.num_nodes):
+            return None  # published under a different configuration
+        index = seeds.index(seed)
+        obs.inc("runner.chips_shared")
+        return ChipSample(
+            netlist=netlist,
+            corner=self.corner(corner),
+            seed=seed,
+            delta_vth=delta_vth[index],
+            delays=delays[index],
+            nominal_delays=nominal,
+            affected_ids=affected[int(offsets[index]) : int(offsets[index + 1])],
+        )
+
+    def _shared_inputs(self, benchmark: str, stage: ExStage) -> np.ndarray | None:
+        """The parent-published encoded input stream for ``benchmark``."""
+        if self.shared is None:
+            return None
+        inputs = self.shared.get(
+            _inputs_key(benchmark, self.config.cycles, self.config.width)
+        )
+        if inputs is None or inputs.shape[0] != stage.alu.num_inputs:
+            return None
+        obs.inc("runner.inputs_shared")
+        return inputs
 
     def stage(self, corner: str = "NTC", buffered: bool = True) -> ExStage:
         key = (corner, buffered, self.config.width)
@@ -85,6 +147,9 @@ class ExperimentContext:
             stage = self.stage(corner, buffered)
 
             def compute() -> ChipSample:
+                shared = self._shared_chip("stage", seed, corner, buffered, stage.netlist)
+                if shared is not None:
+                    return shared
                 with obs.span("runner.chip", seed=seed, corner=corner):
                     obs.inc("runner.chips_computed")
                     return stage.fabricate(seed=seed)
@@ -99,6 +164,9 @@ class ExperimentContext:
             alu, _ = self.bare_alu(corner)
 
             def compute() -> ChipSample:
+                shared = self._shared_chip("alu", seed, corner, True, alu.netlist)
+                if shared is not None:
+                    return shared
                 with obs.span("runner.alu_chip", seed=seed, corner=corner):
                     obs.inc("runner.chips_computed")
                     return fabricate_chip(alu.netlist, self.corner(corner), seed)
@@ -135,11 +203,63 @@ class ExperimentContext:
                     stage = self.stage(corner, buffered)
                     chip = self.chip(chip_seed, corner, buffered)
                     return build_error_trace(
-                        stage, chip, self.trace(benchmark), chunk=self.config.chunk
+                        stage, chip, self.trace(benchmark), chunk=self.config.chunk,
+                        inputs=self._shared_inputs(benchmark, stage),
                     )
 
             self._error_traces[key] = self._checkpointed("etrace", key, compute)
         return self._error_traces[key]
+
+    def error_traces_batch(
+        self,
+        benchmark: str,
+        chip_seeds,
+        corner: str = "NTC",
+        buffered: bool = True,
+    ) -> list[ErrorTrace]:
+        """Error traces of ``benchmark`` on several chips, one kernel call.
+
+        Seeds whose trace is already memoised or checkpointed are served
+        from there; the rest share a single
+        :func:`~repro.core.scheme_sim.build_error_traces_batch` pass
+        (bit-identical per chip to :meth:`error_trace`) and are published
+        to the store under their usual per-trace keys.
+        """
+        chip_seeds = [int(seed) for seed in chip_seeds]
+        keys = {
+            seed: (benchmark, seed, corner, buffered, self.config.cycles, self.config.width)
+            for seed in chip_seeds
+        }
+
+        def cached(seed: int) -> bool:
+            if keys[seed] in self._error_traces:
+                return True
+            return (
+                self.store is not None
+                and artefact_key("etrace", self.config, *keys[seed]) in self.store
+            )
+
+        missing = [seed for seed in chip_seeds if not cached(seed)]
+        if missing:
+            stage = self.stage(corner, buffered)
+            chips = [self.chip(seed, corner, buffered) for seed in missing]
+            with obs.span(
+                "runner.error_traces_batch", benchmark=benchmark,
+                chips=len(missing), corner=corner,
+            ):
+                obs.inc("runner.error_traces_computed", len(missing))
+                traces = build_error_traces_batch(
+                    stage, chips, self.trace(benchmark), chunk=self.config.chunk,
+                    inputs=self._shared_inputs(benchmark, stage),
+                )
+            for seed, trace in zip(missing, traces):
+                self._error_traces[keys[seed]] = self._checkpointed(
+                    "etrace", keys[seed], lambda value=trace: value
+                )
+        return [
+            self.error_trace(benchmark, seed, corner, buffered)
+            for seed in chip_seeds
+        ]
 
     # convenience accessors for the two reference chips ------------------
     def ch3_error_trace(self, benchmark: str) -> ErrorTrace:
@@ -212,3 +332,86 @@ def prefetch_plan(
                 chips[("stage", seed, corner, buffered)] = None
 
     return tuple(chips), tuple(traces)
+
+
+def group_trace_specs(
+    traces: tuple[tuple, ...]
+) -> tuple[tuple[str, tuple[int, ...], str, bool], ...]:
+    """Group per-trace prefetch specs into batch-kernel work units.
+
+    ``(benchmark, chip_seed, corner, buffered)`` specs sharing everything
+    but the seed collapse into one ``(benchmark, seeds, corner,
+    buffered)`` unit — one :meth:`ExperimentContext.error_traces_batch`
+    call per unit times all its chips in a single kernel pass.
+    """
+    groups: dict[tuple[str, str, bool], list[int]] = {}
+    for benchmark, chip_seed, corner, buffered in traces:
+        groups.setdefault((benchmark, corner, bool(buffered)), []).append(int(chip_seed))
+    return tuple(
+        (benchmark, tuple(seeds), corner, buffered)
+        for (benchmark, corner, buffered), seeds in groups.items()
+    )
+
+
+def build_shared_artefacts(
+    config: ExperimentConfig, experiment_ids
+) -> tuple[ShmCatalog | None, ShmPublisher | None]:
+    """Publish population artefacts to shared memory for a fleet run.
+
+    Fabricates every chip the :func:`prefetch_plan` names as one
+    population per (kind, corner, buffered) group — bit-identical per
+    seed to on-demand fabrication — plus the encoded input-vector stream
+    of every benchmark the plan's error traces need, and copies them
+    into :mod:`multiprocessing.shared_memory` segments.  Returns the
+    picklable catalog (to ship inside the ``WorkerSpec``) and the
+    publisher that owns the segments; the caller must ``unlink()`` it
+    when the run finishes.  Returns ``(None, None)`` when the plan needs
+    nothing.
+    """
+    chips, traces = prefetch_plan(config, experiment_ids)
+    if not chips and not traces:
+        return None, None
+    ctx = ExperimentContext(config)
+    publisher = ShmPublisher()
+    try:
+        with obs.span("runner.build_shared", chips=len(chips), traces=len(traces)):
+            groups: dict[tuple[str, str, bool], list[int]] = {}
+            for kind, seed, corner, buffered in chips:
+                # alu_chip ignores ``buffered``; normalise its group key.
+                key = (kind, corner, bool(buffered) if kind == "stage" else True)
+                if int(seed) not in groups.setdefault(key, []):
+                    groups[key].append(int(seed))
+            for (kind, corner, buffered), seeds in groups.items():
+                if kind == "stage":
+                    netlist = ctx.stage(corner, buffered).netlist
+                else:
+                    netlist = ctx.bare_alu(corner)[0].netlist
+                population = fabricate_population(
+                    netlist, ctx.corner(corner), seeds
+                )
+                group = _population_key(kind, corner, buffered)
+                publisher.put(f"{group}/delays", population.delays)
+                publisher.put(f"{group}/delta_vth", population.delta_vth)
+                publisher.put(f"{group}/nominal", population.nominal_delays)
+                counts = [len(ids) for ids in population.affected_ids]
+                offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                packed = (
+                    np.concatenate(population.affected_ids)
+                    if offsets[-1]
+                    else np.array([], dtype=np.int64)
+                )
+                publisher.put(f"{group}/affected", packed.astype(np.int64))
+                publisher.put(f"{group}/aff_offsets", offsets)
+                publisher.put_meta(group, tuple(seeds))
+
+            alu, _ = ctx.bare_alu("NTC")
+            for benchmark in sorted({spec[0] for spec in traces}):
+                inputs = ctx.trace(benchmark).encode_inputs(alu)
+                publisher.put(
+                    _inputs_key(benchmark, config.cycles, config.width), inputs
+                )
+    except Exception:
+        publisher.unlink()
+        raise
+    return publisher.catalog(), publisher

@@ -40,7 +40,13 @@ from repro.obs.recorder import SHARD_VERSION
 #: scheme sweeps across experiments while parallel workers rebuild a
 #: fresh context per task, so emission counts differ by schedule even
 #: though the science does not.  The run ledger still records the
-#: domain families, in its separate ``domain`` section.
+#: domain families, in its separate ``domain`` section.  The
+#: shared-memory hand-off families (``shm.``, ``runner.chips_``,
+#: ``runner.inputs_``, ``pv.populations_``) only exist in fleet runs —
+#: serial runs fabricate the chip locally (``runner.chips_computed``)
+#: while fleets publish a population once and attach per worker — so
+#: the *mechanism* counters are schedule-dependent even though the
+#: chips delivered are bit-identical.
 SCHEDULE_DEPENDENT_PREFIXES = (
     "checkpoint.",
     "worker.",
@@ -56,6 +62,10 @@ SCHEDULE_DEPENDENT_PREFIXES = (
     "choke.",
     "etrace.",
     "obs.",
+    "shm.",
+    "runner.chips_",
+    "runner.inputs_",
+    "pv.populations_",
 )
 
 _SHARD_NAME = re.compile(r"^shard-v(\d+)-(\d+)-\d+\.json$")

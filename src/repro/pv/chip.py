@@ -108,24 +108,38 @@ def fabricate_chip(
         )
 
 
-def _fabricate_chip(
+def delay_coeffs(netlist: Netlist) -> np.ndarray:
+    """Per-node cell-library delay coefficients (0 for sources/consts)."""
+    return np.array(
+        [CELL_LIBRARY[netlist.kind(node_id)].delay_coeff for node_id in range(netlist.num_nodes)],
+        dtype=np.float64,
+    )
+
+
+def sample_chip_vth(
     netlist: Netlist,
-    corner: Corner,
     seed: int,
-    params: VariusParams,
-    affected_fraction: float,
-    affected_vth_min: float,
-    affected_vth_max: float,
-    dbuf_sigma_factor: float,
-) -> ChipSample:
+    params: VariusParams = DEFAULT_PARAMS,
+    affected_fraction: float = 0.02,
+    affected_vth_min: float = 0.10,
+    affected_vth_max: float = 0.20,
+    dbuf_sigma_factor: float = 1.0,
+    coeffs: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one chip's per-node ΔVth field and strongly-affected set.
+
+    This is the *entire* random part of fabrication -- it consumes the
+    seed's RNG stream exactly like :func:`fabricate_chip` always has, so
+    population fabrication (one sampling pass per seed, one vectorised
+    delay computation for all of them) stays bit-identical per chip.
+    Returns ``(delta_vth, affected_ids)``.
+    """
     rng = np.random.default_rng(seed)
     num_nodes = netlist.num_nodes
     delta_vth = sample_delta_vth(num_nodes, params, rng)
 
-    coeffs = np.array(
-        [CELL_LIBRARY[netlist.kind(node_id)].delay_coeff for node_id in range(num_nodes)],
-        dtype=np.float64,
-    )
+    if coeffs is None:
+        coeffs = delay_coeffs(netlist)
     gate_ids = np.flatnonzero(coeffs > 0)
 
     num_affected = int(round(affected_fraction * len(gate_ids)))
@@ -151,6 +165,31 @@ def _fabricate_chip(
         if len(dbuf_ids):
             delta_vth[dbuf_ids] *= dbuf_sigma_factor
 
+    return delta_vth, np.sort(affected_ids.astype(np.int64))
+
+
+def _fabricate_chip(
+    netlist: Netlist,
+    corner: Corner,
+    seed: int,
+    params: VariusParams,
+    affected_fraction: float,
+    affected_vth_min: float,
+    affected_vth_max: float,
+    dbuf_sigma_factor: float,
+) -> ChipSample:
+    coeffs = delay_coeffs(netlist)
+    delta_vth, affected_ids = sample_chip_vth(
+        netlist,
+        seed,
+        params=params,
+        affected_fraction=affected_fraction,
+        affected_vth_min=affected_vth_min,
+        affected_vth_max=affected_vth_max,
+        dbuf_sigma_factor=dbuf_sigma_factor,
+        coeffs=coeffs,
+    )
+
     factors = np.asarray(delay_factor(corner.vdd, VTH_NOMINAL + delta_vth))
     delays = coeffs * factors
     nominal = nominal_gate_delays(netlist, corner)
@@ -162,5 +201,23 @@ def _fabricate_chip(
         delta_vth=delta_vth,
         delays=delays,
         nominal_delays=nominal,
-        affected_ids=np.sort(affected_ids.astype(np.int64)),
+        affected_ids=affected_ids,
     )
+
+
+def delay_matrix(chips: "list[ChipSample] | tuple[ChipSample, ...]") -> np.ndarray:
+    """Stack per-chip delay vectors into the batch kernel's input matrix.
+
+    Returns a ``(num_chips, num_nodes)`` float64 matrix; every chip must
+    come from the same netlist (same node count).
+    """
+    if not chips:
+        raise ValueError("need at least one chip")
+    num_nodes = chips[0].num_nodes
+    for chip in chips[1:]:
+        if chip.num_nodes != num_nodes:
+            raise ValueError(
+                "chips in a population must share one netlist "
+                f"({chip.num_nodes} vs {num_nodes} nodes)"
+            )
+    return np.stack([chip.delays for chip in chips])

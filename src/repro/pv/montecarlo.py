@@ -1,10 +1,18 @@
-"""Monte Carlo characterisation of per-gate-type delay distributions.
+"""Monte Carlo characterisation and population fabrication.
 
 The paper runs 10 000-instance HSPICE Monte Carlo simulations of the basic
 gates at STC and NTC to obtain the mean and standard deviation of each
 gate type's propagation delay.  This module performs the equivalent
 sampling on our trans-regional delay model: draw ΔVth instances, map them
 through :func:`repro.pv.delaymodel.delay_factor`, and summarise.
+
+It also fabricates whole Monte Carlo *populations* at once:
+:func:`fabricate_population` samples each seed's ΔVth field exactly like
+:func:`repro.pv.chip.fabricate_chip` (same per-seed RNG stream, so every
+row is bit-identical to the corresponding single-chip fabrication) and
+then maps the stacked ``(num_chips, num_nodes)`` ΔVth matrix through the
+delay model in one vectorised pass -- the delay matrix the batched DTA
+kernel (:func:`repro.timing.dta.batch_cycle_timings`) consumes directly.
 
 The characterisation is also where the paper's headline observation shows
 up quantitatively: at NTC the relative spread (σ/μ) and the worst-case
@@ -19,7 +27,9 @@ import numpy as np
 
 from repro import obs
 from repro.gates.celllib import CELL_LIBRARY, COMBINATIONAL_KINDS, GateKind
-from repro.pv.delaymodel import VTH_NOMINAL, Corner, delay_factor
+from repro.gates.netlist import Netlist
+from repro.pv.chip import ChipSample, delay_coeffs, sample_chip_vth
+from repro.pv.delaymodel import VTH_NOMINAL, Corner, delay_factor, nominal_gate_delays
 from repro.pv.varius import DEFAULT_PARAMS, VariusParams
 
 
@@ -39,6 +49,119 @@ class DelayDistribution:
     def relative_spread(self) -> float:
         """Coefficient of variation σ/μ."""
         return self.std / self.mean if self.mean else 0.0
+
+
+@dataclass
+class ChipPopulation:
+    """A Monte Carlo population of fabricated chips, stored chip-major.
+
+    ``delta_vth`` and ``delays`` are ``(num_chips, num_nodes)`` matrices;
+    row ``i`` is bit-identical to ``fabricate_chip(netlist, corner,
+    seeds[i], ...)`` because sampling runs one seed at a time on the same
+    RNG stream and the delay model is element-wise.  ``delays`` is exactly
+    the delay matrix :func:`repro.timing.dta.batch_cycle_timings` takes.
+    """
+
+    netlist: Netlist
+    corner: Corner
+    seeds: tuple[int, ...]
+    delta_vth: np.ndarray  # (num_chips, num_nodes) volts
+    delays: np.ndarray  # (num_chips, num_nodes) ps
+    nominal_delays: np.ndarray  # (num_nodes,) shared PV-free delays, ps
+    affected_ids: tuple[np.ndarray, ...]  # per chip, sorted int64
+
+    @property
+    def num_chips(self) -> int:
+        return self.delays.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.delays.shape[1]
+
+    @property
+    def delay_matrix(self) -> np.ndarray:
+        """The batch-kernel input: one per-node delay row per chip."""
+        return self.delays
+
+    def __len__(self) -> int:
+        return self.num_chips
+
+    def chip(self, index: int) -> ChipSample:
+        """Row view of population member ``index`` as a :class:`ChipSample`."""
+        return ChipSample(
+            netlist=self.netlist,
+            corner=self.corner,
+            seed=self.seeds[index],
+            delta_vth=self.delta_vth[index],
+            delays=self.delays[index],
+            nominal_delays=self.nominal_delays,
+            affected_ids=self.affected_ids[index],
+        )
+
+    def chips(self) -> list[ChipSample]:
+        """All members as single-chip views (shared storage, no copies)."""
+        return [self.chip(i) for i in range(self.num_chips)]
+
+
+def fabricate_population(
+    netlist: Netlist,
+    corner: Corner,
+    seeds: "list[int] | tuple[int, ...] | range",
+    params: VariusParams = DEFAULT_PARAMS,
+    affected_fraction: float = 0.02,
+    affected_vth_min: float = 0.10,
+    affected_vth_max: float = 0.20,
+    dbuf_sigma_factor: float = 1.0,
+) -> ChipPopulation:
+    """Fabricate one chip per seed, delay-modelled in a single pass.
+
+    Sampling is per-seed (each chip's RNG stream matches
+    :func:`repro.pv.chip.fabricate_chip` exactly); only the deterministic
+    ΔVth → delay mapping is batched.  :func:`delay_factor` is a pure
+    element-wise function, so row ``i`` of the resulting delay matrix is
+    bit-identical to the single-chip fabrication for ``seeds[i]``.
+    """
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not 0.0 <= affected_fraction <= 1.0:
+        raise ValueError("affected_fraction must be within [0, 1]")
+    with obs.span(
+        "pv.fabricate_population",
+        netlist=netlist.name,
+        corner=corner.name,
+        chips=len(seeds),
+    ):
+        obs.inc("pv.chips_fabricated", len(seeds))
+        obs.inc("pv.populations_fabricated")
+        coeffs = delay_coeffs(netlist)
+        vth_rows = []
+        affected: list[np.ndarray] = []
+        for seed in seeds:
+            delta_vth, affected_ids = sample_chip_vth(
+                netlist,
+                seed,
+                params=params,
+                affected_fraction=affected_fraction,
+                affected_vth_min=affected_vth_min,
+                affected_vth_max=affected_vth_max,
+                dbuf_sigma_factor=dbuf_sigma_factor,
+                coeffs=coeffs,
+            )
+            vth_rows.append(delta_vth)
+            affected.append(affected_ids)
+        vth_matrix = np.stack(vth_rows)
+        factors = np.asarray(delay_factor(corner.vdd, VTH_NOMINAL + vth_matrix))
+        delays = coeffs[None, :] * factors
+        return ChipPopulation(
+            netlist=netlist,
+            corner=corner,
+            seeds=seeds,
+            delta_vth=vth_matrix,
+            delays=delays,
+            nominal_delays=nominal_gate_delays(netlist, corner),
+            affected_ids=tuple(affected),
+        )
 
 
 def characterize_gates(

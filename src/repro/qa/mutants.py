@@ -146,12 +146,23 @@ def _load_without_checksum(_original):
 
 
 def _misalign_etrace(original):
-    def build_error_trace(stage, chip, trace, chunk=2048):
-        etrace = original(stage, chip, trace, chunk=chunk)
+    def build_error_trace(stage, chip, trace, chunk=2048, **kwargs):
+        etrace = original(stage, chip, trace, chunk=chunk, **kwargs)
         etrace.instr_init = etrace.instr_sens.copy()  # one-cycle misalignment
         return etrace
 
     return build_error_trace
+
+
+def _batch_drift(original):
+    def batch_cycle_timings(*args, **kwargs):
+        batch = original(*args, **kwargs)
+        # Sub-tolerance drift: far inside dta_vs_reference's 1e-2 atol,
+        # so only an exact-equality oracle can notice.
+        batch.t_late = batch.t_late + np.float32(0.005)
+        return batch
+
+    return batch_cycle_timings
 
 
 def _razor_offbyone(result, _trace):
@@ -179,6 +190,13 @@ MUTANTS: dict[str, Mutant] = {
             target=("repro.timing.dta", "_propagate_arrivals"),
             build=_swap_arrivals,
             oracles=("dta_vs_reference",),
+        ),
+        Mutant(
+            name="batch-kernel-drift",
+            description="batch kernel rows drift sub-tolerance from the scalar path",
+            target=("repro.timing.dta", "batch_cycle_timings"),
+            build=_batch_drift,
+            oracles=("batch_vs_scalar",),
         ),
         Mutant(
             name="classify-drop-ce",

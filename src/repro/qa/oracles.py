@@ -162,6 +162,56 @@ def _check_dta_vs_reference(case: dict[str, int]) -> list[str]:
     return violations
 
 
+def _check_batch_vs_scalar(case: dict[str, int]) -> list[str]:
+    """The population kernel must be *bit-identical* to the scalar path.
+
+    Stricter than :func:`_check_dta_vs_reference`'s toleranced compare:
+    every chip row of ``batch_cycle_timings`` and the thin single-chip
+    view must equal ``scalar_cycle_timings`` (the kept pre-batching
+    implementation) exactly, element for element.
+    """
+    netlist = _materialize_netlist(case)
+    circuit = levelize(netlist)
+    rng = case_rng(case, "vectors")
+    num_vectors = case["num_vectors"]
+    inputs = rng.integers(0, 2, size=(len(netlist.input_ids), num_vectors)).astype(bool)
+    delay_rng = case_rng(case, "delays")
+    num_chips = case["num_chips"]
+    rows = [circuits.random_gate_delays(netlist, delay_rng) for _ in range(num_chips)]
+    chunk = max(1, case["chunk"])
+
+    batch = dta.batch_cycle_timings(circuit, inputs, np.stack(rows), chunk=chunk)
+    if batch.num_chips != num_chips or len(batch) != num_vectors - 1:
+        return [
+            f"batch shape ({batch.num_chips}, {len(batch)}) != "
+            f"({num_chips}, {num_vectors - 1})"
+        ]
+    violations: list[str] = []
+    for index, delays in enumerate(rows):
+        scalar = dta.scalar_cycle_timings(circuit, inputs, delays, chunk=chunk)
+        row = batch.chip(index)
+        for field_name in ("t_late", "t_early", "output_toggles"):
+            if not np.array_equal(
+                getattr(row, field_name), getattr(scalar, field_name)
+            ):
+                violations.append(
+                    f"chip {index}: batch {field_name} is not bit-identical "
+                    f"to the scalar kernel"
+                )
+                break
+        thin = dta.cycle_timings(circuit, inputs, delays, chunk=chunk)
+        if not (
+            np.array_equal(thin.t_late, scalar.t_late)
+            and np.array_equal(thin.t_early, scalar.t_early)
+            and np.array_equal(thin.output_toggles, scalar.output_toggles)
+        ):
+            violations.append(
+                f"chip {index}: single-chip view is not bit-identical to "
+                f"the scalar kernel"
+            )
+    return violations
+
+
 def _check_classify_partition(case: dict[str, int]) -> list[str]:
     rng = case_rng(case)
     n = case["n"]
@@ -875,6 +925,18 @@ ORACLES: dict[str, Oracle] = {
             },
             check=_check_dta_vs_reference,
             cost=2.5,
+        ),
+        Oracle(
+            name="batch_vs_scalar",
+            description="population batch kernel bit-identical to the scalar DTA path",
+            params={
+                **_NETLIST_PARAMS,
+                "num_vectors": Param(2, 10),
+                "num_chips": Param(1, 6),
+                "chunk": Param(1, 16),
+            },
+            check=_check_batch_vs_scalar,
+            cost=3.0,
         ),
         Oracle(
             name="classify_partition",

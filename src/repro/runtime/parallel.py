@@ -93,6 +93,9 @@ class WorkerSpec:
     telemetry_dir: str | None = None
     #: capture per-span cProfile stats inside workers
     profile: bool = False
+    #: shared-memory catalog of population artefacts (set by run_fleet;
+    #: workers that cannot attach fall back to local computation)
+    shm_catalog: Any = None
 
 
 # ----------------------------------------------------------------------
@@ -114,7 +117,14 @@ def _worker_context(spec: WorkerSpec):
             claim_stale_s=spec.claim_stale_s,
             claim_poll_s=spec.claim_poll_s,
         )
-    return ExperimentContext(spec.config, store=store)
+    shared = None
+    if spec.shm_catalog is not None:
+        from repro.runtime.shm import ShmReader
+
+        # Attach lazily per array; a worker that cannot see the parent's
+        # segments (remote machine, parent gone) computes locally instead.
+        shared = ShmReader(spec.shm_catalog)
+    return ExperimentContext(spec.config, store=store, shared=shared)
 
 
 def _worker_resolve(spec: WorkerSpec) -> Callable[[str], Callable]:
@@ -209,6 +219,9 @@ def _prefetch_task(
                     ctx.alu_chip(seed, corner)
                 else:
                     ctx.chip(seed, corner, buffered)
+            elif kind == "etrace_batch":
+                benchmark, seeds, corner, buffered = part
+                ctx.error_traces_batch(benchmark, seeds, corner, buffered)
             else:
                 benchmark, chip_seed, corner, buffered = part
                 ctx.error_trace(benchmark, chip_seed, corner, buffered)
@@ -248,13 +261,16 @@ def prefetch_artefacts(
     failed or crashed prefetch is only logged, because any experiment
     can recompute its own artefacts through the claimed store.
     """
-    from repro.experiments.runner import prefetch_plan
+    from repro.experiments.runner import group_trace_specs, prefetch_plan
 
     stats = StoreStats()
     if not spec.checkpoint_dir:
         return stats  # nowhere shared to put artefacts
     chips, traces = prefetch_plan(spec.config, experiment_ids)
-    for phase, parts in (("chip", chips), ("etrace", traces)):
+    # Traces sharing (benchmark, corner, buffered) collapse into one
+    # batch-kernel task timing all their chips at once.
+    trace_batches = group_trace_specs(traces)
+    for phase, parts in (("chip", chips), ("etrace_batch", trace_batches)):
         if not parts:
             continue
         logger.info("prefetching %d %s artefact(s)", len(parts), phase)
@@ -437,20 +453,49 @@ def run_fleet(
     on_outcome: Callable[[RunOutcome], None] | None = None,
     prefetch: bool = True,
     crash_retries: int = 1,
+    share_artefacts: bool = True,
 ) -> tuple[RunReport, StoreStats]:
     """Prefetch shared artefacts, then fan the experiments out.
 
-    The convenience wrapper the CLI uses for ``--jobs > 1``.
+    The convenience wrapper the CLI uses for ``--jobs > 1``.  With
+    ``share_artefacts`` the parent fabricates the run's chip populations
+    and encoded input streams once, publishes them to shared-memory
+    segments, and ships only the catalog inside the :class:`WorkerSpec`
+    — workers attach zero-copy views instead of pickling or recomputing
+    whole chips.  Publishing is best-effort: on any failure the fleet
+    runs exactly as before, computing artefacts through the store.
     """
     jobs = jobs or default_jobs()
     obs.gauge("parallel.jobs", jobs)
     stats = StoreStats()
-    if prefetch:
-        stats.merge(prefetch_artefacts(spec, experiment_ids, jobs))
-    with obs.span("parallel.fanout", experiments=len(experiment_ids), jobs=jobs):
-        report, run_stats = run_many_parallel(
-            experiment_ids, spec, jobs=jobs,
-            on_outcome=on_outcome, crash_retries=crash_retries,
-        )
+    publisher = None
+    if share_artefacts:
+        from repro.experiments.runner import build_shared_artefacts
+
+        try:
+            catalog, publisher = build_shared_artefacts(
+                spec.config, experiment_ids
+            )
+        except Exception as exc:
+            logger.warning(
+                "shared-memory publish failed (%s); workers will compute "
+                "artefacts locally", exc,
+            )
+        else:
+            if catalog is not None and len(catalog):
+                spec = dataclasses.replace(spec, shm_catalog=catalog)
+    try:
+        if prefetch:
+            stats.merge(prefetch_artefacts(spec, experiment_ids, jobs))
+        with obs.span(
+            "parallel.fanout", experiments=len(experiment_ids), jobs=jobs
+        ):
+            report, run_stats = run_many_parallel(
+                experiment_ids, spec, jobs=jobs,
+                on_outcome=on_outcome, crash_retries=crash_retries,
+            )
+    finally:
+        if publisher is not None:
+            publisher.unlink()
     stats.merge(run_stats)
     return report, stats

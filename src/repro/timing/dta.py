@@ -16,6 +16,21 @@ Modelling notes (documented substitutions):
   min -- the standard dynamic-timing approximation.
 * Non-toggling nodes carry -inf (latest) / +inf (earliest), so the
   propagation needs no explicit sensitisation masks.
+
+Batched execution model
+-----------------------
+
+The kernel is population-level: :func:`batch_cycle_timings` times *all
+chips x all cycles* of a Monte Carlo population in one call.  Logic
+values depend only on the input vectors -- never on delays -- so one
+:func:`~repro.timing.logic_eval.evaluate_logic` pass is shared by every
+chip, and the arrival propagation broadcasts a ``(num_chips, num_nodes)``
+delay matrix over a chip axis: the inner loop is levels x gate-kinds
+(driven by the packed :class:`~repro.timing.levelize.GateTable`), not
+chips x levels x gates.  The single-chip :func:`cycle_timings` is a thin
+view over the batch kernel -- same code path, population of one -- so
+scalar and batched results are bit-identical by construction (and that
+identity is enforced by the ``batch_vs_scalar`` QA oracle).
 """
 
 from __future__ import annotations
@@ -78,6 +93,36 @@ class CycleTimings:
         return classes
 
 
+@dataclass
+class BatchCycleTimings:
+    """Population-level timing: one :class:`CycleTimings` row per chip.
+
+    ``t_late`` / ``t_early`` have shape ``(num_chips, transitions)``.
+    ``output_toggles`` is ``(transitions,)`` -- logic values are
+    delay-independent, so toggle counts are shared by the whole
+    population.  :meth:`chip` materialises the per-chip view.
+    """
+
+    t_late: np.ndarray
+    t_early: np.ndarray
+    output_toggles: np.ndarray
+
+    @property
+    def num_chips(self) -> int:
+        return self.t_late.shape[0]
+
+    def __len__(self) -> int:
+        return self.t_late.shape[1]
+
+    def chip(self, index: int) -> CycleTimings:
+        """The single-chip view of population member ``index``."""
+        return CycleTimings(
+            t_late=self.t_late[index],
+            t_early=self.t_early[index],
+            output_toggles=self.output_toggles,
+        )
+
+
 #: Error classes produced by :meth:`CycleTimings.classify`.
 ERR_NONE = 0
 ERR_SE_MIN = 1
@@ -92,79 +137,140 @@ def _propagate_arrivals(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Latest/earliest transition arrivals for each adjacent vector pair.
 
-    ``values`` is (num_nodes, C); the result matrices are
-    (num_nodes, C-1), column ``t`` describing the vector-t -> vector-t+1
-    transition.  Non-toggling nodes hold -inf / +inf.
+    ``values`` is (num_nodes, C).  With a 1-D ``delays`` vector the
+    result matrices are (num_nodes, C-1); with a 2-D ``(num_chips,
+    num_nodes)`` delay matrix they gain a chip axis, (num_nodes,
+    num_chips, C-1).  Column ``t`` describes the vector-t -> vector-t+1
+    transition; non-toggling nodes hold -inf / +inf.  Both modes run
+    the identical element-wise float32 operations, so a population row
+    is bit-identical to the corresponding single-chip run.
     """
+    delays32 = np.asarray(delays).astype(np.float32, copy=False)
+    batched = delays32.ndim == 2
     toggled = values[:, 1:] != values[:, :-1]
-    shape = toggled.shape
+    num_nodes, transitions = toggled.shape
+    if batched:
+        shape: tuple[int, ...] = (num_nodes, delays32.shape[0], transitions)
+    else:
+        shape = (num_nodes, transitions)
     late = np.full(shape, _NEG, dtype=np.float32)
     early = np.full(shape, _POS, dtype=np.float32)
 
     # Primary inputs switch at the launching clock edge (t = 0).
     in_ids = circuit.input_ids
-    late[in_ids] = np.where(toggled[in_ids], np.float32(0.0), _NEG)
-    early[in_ids] = np.where(toggled[in_ids], np.float32(0.0), _POS)
+    in_toggled = toggled[in_ids]
+    if batched:
+        in_toggled = in_toggled[:, None, :]
+    late[in_ids] = np.where(in_toggled, np.float32(0.0), _NEG)
+    early[in_ids] = np.where(in_toggled, np.float32(0.0), _POS)
 
-    delays32 = delays.astype(np.float32, copy=False)
-    for groups in circuit.levels:
-        for group in groups:
-            cand_late = late[group.in0]
-            cand_early = early[group.in0]
-            if len(group.in1):
-                cand_late = np.maximum(cand_late, late[group.in1])
-                cand_early = np.minimum(cand_early, early[group.in1])
-            if len(group.in2):
-                cand_late = np.maximum(cand_late, late[group.in2])
-                cand_early = np.minimum(cand_early, early[group.in2])
-            gate_delay = delays32[group.nodes][:, None]
-            toggles = toggled[group.nodes]
-            late[group.nodes] = np.where(toggles, cand_late + gate_delay, _NEG)
-            early[group.nodes] = np.where(toggles, cand_early + gate_delay, _POS)
+    table = circuit.gate_table()
+    for g in range(table.num_groups):
+        _kind, span = table.group(g)
+        arity = int(table.arity[g])
+        nodes = table.nodes[span]
+        in0 = table.in0[span]
+        # The gathers allocate (fancy indexing); everything downstream
+        # accumulates in place -- maximum/minimum/add are elementwise
+        # and deterministic, so out= reuse cannot change a single bit,
+        # it only halves the temporary traffic of the hottest loop.
+        cand_late = late[in0]
+        cand_early = early[in0]
+        if arity > 1:
+            in1 = table.in1[span]
+            np.maximum(cand_late, late[in1], out=cand_late)
+            np.minimum(cand_early, early[in1], out=cand_early)
+        if arity > 2:
+            in2 = table.in2[span]
+            np.maximum(cand_late, late[in2], out=cand_late)
+            np.minimum(cand_early, early[in2], out=cand_early)
+        toggles = toggled[nodes]
+        if batched:
+            gate_delay = delays32[:, nodes].T[:, :, None]  # (G, chips, 1)
+            toggles = toggles[:, None, :]  # (G, 1, T)
+        else:
+            gate_delay = delays32[nodes][:, None]  # (G, 1)
+        np.add(cand_late, gate_delay, out=cand_late)
+        np.add(cand_early, gate_delay, out=cand_early)
+        late[nodes] = np.where(toggles, cand_late, _NEG)
+        early[nodes] = np.where(toggles, cand_early, _POS)
     return late, early
 
 
-def cycle_timings(
+def batch_cycle_timings(
     circuit: LevelizedCircuit,
     inputs: np.ndarray,
-    delays: np.ndarray,
+    delay_matrix: np.ndarray,
     chunk: int = 2048,
-) -> CycleTimings:
-    """Compute per-cycle aggregate output timing for an input-vector stream.
+) -> BatchCycleTimings:
+    """Time a whole chip population against one input-vector stream.
 
-    ``inputs`` has shape (num_primary_inputs, C); the result covers the
-    C-1 vector-to-vector transitions.  Work proceeds in chunks of
-    ``chunk`` transitions to bound memory.
+    ``inputs`` has shape (num_primary_inputs, C); ``delay_matrix`` has
+    shape (num_chips, num_nodes) -- one per-node delay row per
+    fabricated chip.  The result covers the C-1 vector-to-vector
+    transitions for every chip.
+
+    Work proceeds in windows of roughly ``chunk / num_chips``
+    transitions so the population's working set stays close to the
+    single-chip kernel's; chunking never changes results (each
+    transition's arrivals are a pure function of its two vectors).
+    Logic evaluation is shared across the population and the seam
+    column of each window is carried over, never re-evaluated.
     """
     inputs = np.asarray(inputs, dtype=bool)
+    delay_matrix = np.asarray(delay_matrix)
+    if delay_matrix.ndim != 2:
+        raise ValueError(
+            f"delay_matrix must be (num_chips, num_nodes), got {delay_matrix.shape}"
+        )
+    num_chips = delay_matrix.shape[0]
+    if num_chips < 1:
+        raise ValueError("delay_matrix must hold at least one chip")
     total = inputs.shape[1]
     if total < 2:
         raise ValueError("need at least two input vectors")
     if chunk < 1:
         raise ValueError("chunk must be positive")
 
-    with obs.span("dta.cycle_timings", cycles=total, chunk=chunk):
+    with obs.span(
+        "dta.batch_cycle_timings", cycles=total, chips=num_chips, chunk=chunk
+    ):
         obs.inc("dta.evaluations")
         obs.inc("dta.cycles_analyzed", total - 1)
+        obs.inc("dta.chip_cycles", num_chips * (total - 1))
+
+        # The delay-matrix float32 view is computed once per call, not
+        # once per window (the old per-call astype copy, hoisted).
+        delays32 = delay_matrix.astype(np.float32, copy=False)
+        window = max(1, chunk // num_chips)
 
         out_ids = circuit.output_ids
-        t_late = np.empty(total - 1, dtype=np.float32)
-        t_early = np.empty(total - 1, dtype=np.float32)
+        t_late = np.empty((num_chips, total - 1), dtype=np.float32)
+        t_early = np.empty((num_chips, total - 1), dtype=np.float32)
         toggles = np.empty(total - 1, dtype=np.int32)
 
+        boundary: np.ndarray | None = None
         start = 0
         while start < total - 1:
-            stop = min(start + chunk, total - 1)
-            window = inputs[:, start : stop + 1]
-            values = evaluate_logic(circuit, window)
-            late, early = _propagate_arrivals(circuit, values, delays)
+            stop = min(start + window, total - 1)
+            if boundary is None:
+                values = evaluate_logic(circuit, inputs[:, start : stop + 1])
+            else:
+                # Chunk seam: the window's first column was the previous
+                # window's last -- reuse it instead of re-evaluating the
+                # whole circuit for that vector.
+                fresh = evaluate_logic(circuit, inputs[:, start + 1 : stop + 1])
+                values = np.concatenate([boundary, fresh], axis=1)
+            boundary = values[:, -1:]
+            late, early = _propagate_arrivals(circuit, values, delays32)
+            # (num_outputs, num_chips, T) -> reduce over the output axis.
             out_late = late[out_ids].max(axis=0)
             out_early = early[out_ids].min(axis=0)
             out_toggled = (values[out_ids, 1:] != values[out_ids, :-1]).sum(axis=0)
             # No output transition: nothing arrives, so nothing is late and
             # nothing violates hold.
-            t_late[start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
-            t_early[start:stop] = out_early
+            t_late[:, start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
+            t_early[:, start:stop] = out_early
             toggles[start:stop] = out_toggled
             start = stop
 
@@ -177,6 +283,67 @@ def cycle_timings(
             finite_early = t_early[np.isfinite(t_early)]
             if len(finite_early):
                 obs.observe("dta.t_early_min_ps", float(finite_early.min()))
+
+    return BatchCycleTimings(t_late=t_late, t_early=t_early, output_toggles=toggles)
+
+
+def cycle_timings(
+    circuit: LevelizedCircuit,
+    inputs: np.ndarray,
+    delays: np.ndarray,
+    chunk: int = 2048,
+) -> CycleTimings:
+    """Compute per-cycle aggregate output timing for an input-vector stream.
+
+    ``inputs`` has shape (num_primary_inputs, C); the result covers the
+    C-1 vector-to-vector transitions.  A thin single-chip view over
+    :func:`batch_cycle_timings` (population of one).
+    """
+    delays = np.asarray(delays)
+    if delays.ndim != 1:
+        raise ValueError(f"delays must be a per-node vector, got {delays.shape}")
+    batch = batch_cycle_timings(circuit, inputs, delays[None, :], chunk=chunk)
+    return batch.chip(0)
+
+
+def scalar_cycle_timings(
+    circuit: LevelizedCircuit,
+    inputs: np.ndarray,
+    delays: np.ndarray,
+    chunk: int = 2048,
+) -> CycleTimings:
+    """The pre-batching single-chip implementation, kept as a comparator.
+
+    Windows re-run logic evaluation over ``chunk + 1`` columns and the
+    propagation runs without a chip axis.  The ``batch_vs_scalar`` QA
+    oracle and the kernel-parity CI step diff :func:`batch_cycle_timings`
+    against this path; production code should call :func:`cycle_timings`.
+    """
+    inputs = np.asarray(inputs, dtype=bool)
+    total = inputs.shape[1]
+    if total < 2:
+        raise ValueError("need at least two input vectors")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+
+    out_ids = circuit.output_ids
+    t_late = np.empty(total - 1, dtype=np.float32)
+    t_early = np.empty(total - 1, dtype=np.float32)
+    toggles = np.empty(total - 1, dtype=np.int32)
+
+    start = 0
+    while start < total - 1:
+        stop = min(start + chunk, total - 1)
+        window = inputs[:, start : stop + 1]
+        values = evaluate_logic(circuit, window)
+        late, early = _propagate_arrivals(circuit, values, delays)
+        out_late = late[out_ids].max(axis=0)
+        out_early = early[out_ids].min(axis=0)
+        out_toggled = (values[out_ids, 1:] != values[out_ids, :-1]).sum(axis=0)
+        t_late[start:stop] = np.where(np.isfinite(out_late), out_late, 0.0)
+        t_early[start:stop] = out_early
+        toggles[start:stop] = out_toggled
+        start = stop
 
     return CycleTimings(t_late=t_late, t_early=t_early, output_toggles=toggles)
 

@@ -2,6 +2,15 @@
 
 Nodes are grouped by (logic level, gate kind) so that each group can be
 evaluated with a handful of numpy operations over all cycles at once.
+
+Two views of the same ordering coexist:
+
+* :class:`LevelGroup` / ``LevelizedCircuit.levels`` — the per-object
+  view, convenient for traversal code (STA, choke trace-back).
+* :class:`GateTable` — the packed structure-of-arrays view the hot
+  kernels iterate: every group's node/fanin ids live in one contiguous
+  int32 array, sliced by a ``(num_groups + 1)`` offset table, so the
+  per-level inner loop is plain slicing with no Python object traffic.
 """
 
 from __future__ import annotations
@@ -10,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.gates.celllib import GateKind
+from repro.gates.celllib import GateKind, fanin_count
 from repro.gates.netlist import Netlist
 
 
@@ -28,6 +37,79 @@ class LevelGroup:
         return len(self.nodes)
 
 
+@dataclass(frozen=True)
+class GateTable:
+    """Packed (level, kind)-grouped gate arrays, shared by a whole population.
+
+    Group ``g`` covers the half-open slice ``offsets[g]:offsets[g + 1]``
+    of the packed arrays.  ``in1``/``in2`` are aligned with ``nodes``
+    and hold ``-1`` where the gate kind has no such fanin, so every
+    packed array has the same length and a group slice is always valid.
+    The table is a pure reindexing of the netlist — it carries no
+    per-chip data, which is what lets one table drive the timing of an
+    entire Monte Carlo population.
+    """
+
+    kinds: tuple[GateKind, ...]  # per group
+    arity: np.ndarray  # per group fanin count, int8
+    levels: np.ndarray  # per group logic level, int32
+    offsets: np.ndarray  # (num_groups + 1,) int32 into the packed arrays
+    nodes: np.ndarray  # packed node ids, level-ordered, int32
+    in0: np.ndarray  # packed fanin 0
+    in1: np.ndarray  # packed fanin 1, -1 where absent
+    in2: np.ndarray  # packed fanin 2 (MUX2 select), -1 where absent
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.nodes)
+
+    def group(self, g: int) -> tuple[GateKind, slice]:
+        """Gate kind and packed-array slice of group ``g``."""
+        return self.kinds[g], slice(int(self.offsets[g]), int(self.offsets[g + 1]))
+
+
+def pack_gate_table(levels: list[list[LevelGroup]]) -> GateTable:
+    """Flatten per-object level groups into one contiguous :class:`GateTable`."""
+    kinds: list[GateKind] = []
+    group_levels: list[int] = []
+    offsets = [0]
+    nodes: list[np.ndarray] = []
+    in0: list[np.ndarray] = []
+    in1: list[np.ndarray] = []
+    in2: list[np.ndarray] = []
+    for level_index, groups in enumerate(levels, start=1):
+        for group in groups:
+            size = len(group)
+            kinds.append(group.kind)
+            group_levels.append(level_index)
+            offsets.append(offsets[-1] + size)
+            nodes.append(group.nodes)
+            in0.append(group.in0)
+            missing = np.full(size, -1, dtype=np.int32)
+            in1.append(group.in1 if len(group.in1) else missing)
+            in2.append(group.in2 if len(group.in2) else missing)
+
+    def _pack(chunks: list[np.ndarray]) -> np.ndarray:
+        if not chunks:
+            return np.array([], dtype=np.int32)
+        return np.ascontiguousarray(np.concatenate(chunks).astype(np.int32))
+
+    return GateTable(
+        kinds=tuple(kinds),
+        arity=np.array([fanin_count(kind) for kind in kinds], dtype=np.int8),
+        levels=np.array(group_levels, dtype=np.int32),
+        offsets=np.array(offsets, dtype=np.int32),
+        nodes=_pack(nodes),
+        in0=_pack(in0),
+        in1=_pack(in1),
+        in2=_pack(in2),
+    )
+
+
 @dataclass
 class LevelizedCircuit:
     """A netlist reorganised into per-level, per-kind gate groups."""
@@ -40,11 +122,18 @@ class LevelizedCircuit:
     const1_ids: np.ndarray
     levels: list[list[LevelGroup]]  # levels[0] is the first *gate* level
     node_levels: np.ndarray
+    table: GateTable | None = None
 
     @property
     def depth(self) -> int:
         """Number of gate levels."""
         return len(self.levels)
+
+    def gate_table(self) -> GateTable:
+        """The packed SoA view of the level groups (built once, cached)."""
+        if self.table is None:
+            self.table = pack_gate_table(self.levels)
+        return self.table
 
 
 def levelize(netlist: Netlist) -> LevelizedCircuit:

@@ -10,19 +10,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gates.celllib import GateKind
-from repro.timing.levelize import LevelGroup, LevelizedCircuit
+from repro.timing.levelize import GateTable, LevelizedCircuit
 
 
-def _evaluate_group(values: np.ndarray, group: LevelGroup) -> None:
-    """Compute ``values[group.nodes]`` in place from fanin rows."""
-    kind = group.kind
-    a = values[group.in0]
+def _evaluate_table_group(values: np.ndarray, table: GateTable, g: int) -> None:
+    """Compute one packed group's node rows in place from fanin rows."""
+    kind, span = table.group(g)
+    a = values[table.in0[span]]
     if kind is GateKind.BUF or kind is GateKind.DBUF:
         result = a
     elif kind is GateKind.INV:
         result = ~a
     else:
-        b = values[group.in1]
+        b = values[table.in1[span]]
         if kind is GateKind.AND2:
             result = a & b
         elif kind is GateKind.OR2:
@@ -36,11 +36,11 @@ def _evaluate_group(values: np.ndarray, group: LevelGroup) -> None:
         elif kind is GateKind.XNOR2:
             result = ~(a ^ b)
         elif kind is GateKind.MUX2:
-            sel = values[group.in2]
+            sel = values[table.in2[span]]
             result = np.where(sel, b, a)
         else:
             raise ValueError(f"cannot evaluate kind {kind!r}")
-    values[group.nodes] = result
+    values[table.nodes[span]] = result
 
 
 def evaluate_logic(circuit: LevelizedCircuit, inputs: np.ndarray) -> np.ndarray:
@@ -60,9 +60,9 @@ def evaluate_logic(circuit: LevelizedCircuit, inputs: np.ndarray) -> np.ndarray:
     values[circuit.input_ids] = inputs
     if len(circuit.const1_ids):
         values[circuit.const1_ids] = True
-    for groups in circuit.levels:
-        for group in groups:
-            _evaluate_group(values, group)
+    table = circuit.gate_table()
+    for g in range(table.num_groups):
+        _evaluate_table_group(values, table, g)
     return values
 
 

@@ -1,0 +1,221 @@
+"""Batched DTA kernel: batch/scalar parity and the shared-memory hand-off.
+
+The batch kernel's contract is *bit-identity*: ``batch_cycle_timings``
+row ``i`` must equal the pre-batching scalar path on chip ``i`` exactly,
+for every chunking, population size, and degenerate shape.  The
+shared-memory tests pin the lifecycle rules: a crashing worker must
+never take the parent's segments down with it, and readers must degrade
+to ``None`` instead of raising when a segment is gone.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.pv.chip import delay_matrix
+from repro.pv.delaymodel import NTC
+from repro.pv.montecarlo import fabricate_population
+from repro.runtime.shm import ArraySpec, ShmCatalog, ShmPublisher, ShmReader
+from repro.timing.dta import batch_cycle_timings, cycle_timings, scalar_cycle_timings
+from repro.timing.levelize import levelize
+from tests.util import chain_circuit as _chain_circuit
+from tests.util import random_gate_delays, random_netlist
+
+
+def _random_inputs(netlist, num_vectors, seed):
+    rng = np.random.default_rng(seed)
+    num_inputs = len(netlist.input_ids)
+    return rng.integers(0, 2, size=(num_inputs, num_vectors)).astype(bool)
+
+
+def _assert_chip_equal(batch, index, reference):
+    view = batch.chip(index)
+    np.testing.assert_array_equal(view.t_late, reference.t_late)
+    np.testing.assert_array_equal(view.t_early, reference.t_early)
+    np.testing.assert_array_equal(view.output_toggles, reference.output_toggles)
+
+
+# ----------------------------------------------------------------------
+# batch vs scalar parity
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_matches_scalar_on_random_population(seed):
+    netlist = random_netlist(seed, num_inputs=5, num_gates=30, num_outputs=3)
+    circuit = levelize(netlist)
+    inputs = _random_inputs(netlist, 40, seed + 100)
+    delay_rng = np.random.default_rng(seed + 200)
+    rows = [random_gate_delays(netlist, delay_rng) for _ in range(4)]
+
+    batch = batch_cycle_timings(circuit, inputs, np.stack(rows), chunk=16)
+    assert batch.t_late.shape == (4, 39)
+    assert batch.t_early.shape == (4, 39)
+    for i, delays in enumerate(rows):
+        _assert_chip_equal(batch, i, scalar_cycle_timings(circuit, inputs, delays))
+
+
+def test_batch_matches_scalar_on_fabricated_population(alu8, alu8_circuit):
+    pop = fabricate_population(alu8.netlist, NTC, seeds=(11, 12, 13))
+    inputs = _random_inputs(alu8.netlist, 25, 7)
+    batch = batch_cycle_timings(alu8_circuit, inputs, pop.delay_matrix, chunk=64)
+    for i in range(pop.num_chips):
+        reference = scalar_cycle_timings(alu8_circuit, inputs, pop.chip(i).delays)
+        _assert_chip_equal(batch, i, reference)
+
+
+def test_single_chip_view_is_batch_kernel():
+    """cycle_timings is a population-of-one view and agrees with scalar."""
+    netlist = random_netlist(5)
+    circuit = levelize(netlist)
+    inputs = _random_inputs(netlist, 20, 5)
+    delays = random_gate_delays(netlist, 5)
+
+    thin = cycle_timings(circuit, inputs, delays, chunk=8)
+    reference = scalar_cycle_timings(circuit, inputs, delays, chunk=8)
+    np.testing.assert_array_equal(thin.t_late, reference.t_late)
+    np.testing.assert_array_equal(thin.t_early, reference.t_early)
+    np.testing.assert_array_equal(thin.output_toggles, reference.output_toggles)
+
+
+# ----------------------------------------------------------------------
+# degenerate shapes and no-toggle cycles
+# ----------------------------------------------------------------------
+
+
+def test_no_toggle_cycles_across_population():
+    circuit, delays = _chain_circuit(3)
+    # identical vectors -> no transition anywhere, for every chip
+    inputs = np.ones((1, 5), dtype=bool)
+    matrix = np.stack([delays, delays * 2.0, delays * 0.5])
+    batch = batch_cycle_timings(circuit, inputs, matrix)
+    assert np.all(batch.t_late == 0.0)
+    assert np.all(np.isposinf(batch.t_early))
+    assert np.all(batch.output_toggles == 0)
+
+
+def test_single_chip_single_cycle_degenerate_shapes():
+    circuit, delays = _chain_circuit(3)
+    inputs = np.array([[0, 1]], dtype=bool)  # one transition
+    batch = batch_cycle_timings(circuit, inputs, delays[None, :])
+    assert batch.num_chips == 1
+    assert batch.t_late.shape == (1, 1)
+    assert batch.chip(0).t_late[0] == pytest.approx(30.0)
+    assert batch.chip(0).t_early[0] == pytest.approx(30.0)
+    assert batch.output_toggles[0] == 1
+
+
+def test_batch_rejects_bad_shapes():
+    circuit, delays = _chain_circuit(2)
+    inputs = np.array([[0, 1]], dtype=bool)
+    with pytest.raises(ValueError):
+        batch_cycle_timings(circuit, inputs, delays)  # 1-D matrix
+    with pytest.raises(ValueError):
+        batch_cycle_timings(circuit, inputs, np.empty((0, len(delays))))
+    with pytest.raises(ValueError):
+        batch_cycle_timings(circuit, np.array([[0]], dtype=bool), delays[None, :])
+    with pytest.raises(ValueError):
+        batch_cycle_timings(circuit, inputs, delays[None, :], chunk=0)
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, 7, 1000])
+def test_chunk_boundaries_never_change_results(chunk):
+    """Every chunking, including window=1 seams, gives identical arrays."""
+    netlist = random_netlist(9, num_inputs=4, num_gates=25, num_outputs=2)
+    circuit = levelize(netlist)
+    inputs = _random_inputs(netlist, 23, 9)
+    matrix = np.stack(
+        [random_gate_delays(netlist, 90 + i) for i in range(3)]
+    )
+    reference = batch_cycle_timings(circuit, inputs, matrix, chunk=10_000)
+    chunked = batch_cycle_timings(circuit, inputs, matrix, chunk=chunk)
+    np.testing.assert_array_equal(chunked.t_late, reference.t_late)
+    np.testing.assert_array_equal(chunked.t_early, reference.t_early)
+    np.testing.assert_array_equal(chunked.output_toggles, reference.output_toggles)
+
+
+# ----------------------------------------------------------------------
+# shared-memory hand-off lifecycle
+# ----------------------------------------------------------------------
+
+
+def _attach_and_crash(catalog):
+    """Child body: attach a view, then die without any cleanup."""
+    reader = ShmReader(catalog)
+    view = reader.get("delays")
+    assert view is not None and view.shape == (2, 3)
+    os.kill(os.getpid(), signal.SIGKILL)  # simulated worker crash
+
+
+def _attach_and_verify(catalog):
+    """Sibling-worker body: attach after the crash and check the data.
+
+    Runs in its own process (like a real fleet worker) so the attach
+    path exercises the untracked-attach rules rather than the parent's
+    own bookkeeping; any assertion failure surfaces as a non-zero
+    exitcode.
+    """
+    reader = ShmReader(catalog)
+    view = reader.get("delays")
+    assert view is not None
+    np.testing.assert_array_equal(view, np.arange(6, dtype=np.float32).reshape(2, 3))
+    assert not view.flags.writeable
+    assert reader.meta["seeds"] == (1, 2)
+    reader.close()
+
+
+def test_worker_crash_leaves_parent_segments_alive():
+    """A dying worker must not unlink the parent's segments (the
+    resource-tracker trap); siblings keep attaching, and only the
+    parent's unlink() destroys them."""
+    publisher = ShmPublisher()
+    try:
+        publisher.put("delays", np.arange(6, dtype=np.float32).reshape(2, 3))
+        publisher.put_meta("seeds", (1, 2))
+        catalog = publisher.catalog()
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_attach_and_crash, args=(catalog,))
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+
+        # a sibling worker attaching after the crash still sees the array
+        sibling = ctx.Process(target=_attach_and_verify, args=(catalog,))
+        sibling.start()
+        sibling.join(timeout=30)
+        assert sibling.exitcode == 0
+    finally:
+        publisher.unlink()
+
+    # after unlink the segment is really gone: attach degrades to None
+    late = ShmReader(catalog)
+    assert late.get("delays") is None
+    late.close()
+
+
+def test_reader_returns_none_for_missing_segments():
+    catalog = ShmCatalog(
+        arrays=(("ghost", ArraySpec(segment="repro-none-999999", shape=(2,), dtype="float32")),),
+    )
+    reader = ShmReader(catalog)
+    assert "ghost" in reader
+    assert reader.get("ghost") is None
+    assert reader.get("ghost") is None  # cached failure, still quiet
+    assert reader.get("unknown-key") is None
+    reader.close()
+
+
+def test_publisher_unlink_is_idempotent():
+    publisher = ShmPublisher()
+    publisher.put("a", np.zeros(4))
+    catalog = publisher.catalog()
+    assert len(catalog) == 1
+    publisher.unlink()
+    publisher.unlink()  # double unlink must not raise
+    reader = ShmReader(catalog)
+    assert reader.get("a") is None
+    reader.close()
