@@ -239,6 +239,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="append one run-ledger record here (see 'ledger --help')",
     )
+    telemetry.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="append the structured lifecycle event stream (JSONL) here; "
+        "tail it live with the 'progress' subcommand",
+    )
     return parser
 
 
@@ -277,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.runtime.backends.worker import worker_main
 
         return worker_main(argv[1:])
+    if argv and argv[0] == "progress":
+        from repro.experiments.progress_cli import progress_main
+
+        return progress_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
@@ -348,6 +358,13 @@ def main(argv: list[str] | None = None) -> int:
     telemetry_on = bool(
         args.metrics_out or args.trace_out or args.profile or args.ledger_dir
     )
+    events_on = bool(args.events_out)
+    # Every instrumented run gets a trace id: it stamps recorder spans,
+    # rides the WorkerSpec into every worker (local or remote), tags each
+    # structured event, and lands in the ledger record — one key linking
+    # all the run's artefacts.
+    trace_id = obs.new_trace_id() if (telemetry_on or events_on) else ""
+    parent_span_id = obs.new_span_id() if trace_id else None
     recorder = None
     telemetry_dir = None
     if telemetry_on:
@@ -355,9 +372,16 @@ def main(argv: list[str] | None = None) -> int:
             process="main",
             profile=bool(args.profile),
             profile_top=args.profile_top,
+            trace_id=trace_id,
         ))
         if backend_name != "inproc":
             telemetry_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
+    if events_on:
+        try:  # a fresh run starts a fresh stream (the log appends)
+            os.unlink(args.events_out)
+        except OSError:
+            pass
+        obs.enable_events(obs.EventLog(args.events_out, trace_id=trace_id))
 
     store = None
     if args.checkpoint_dir:
@@ -401,6 +425,9 @@ def main(argv: list[str] | None = None) -> int:
         claim_stale_s=args.claim_stale_s,
         telemetry_dir=telemetry_dir,
         profile=bool(args.profile),
+        trace_id=trace_id or None,
+        parent_span_id=parent_span_id,
+        events_path=args.events_out if events_on else None,
     )
     remote_options = None
     if backend_name == "remote":
@@ -414,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
     logger.info(
         "running %d experiment(s) on the %s backend", len(ids), backend.name
     )
+    obs.emit(
+        "run_start", backend=backend_name, jobs=jobs, experiments=len(ids)
+    )
     try:
         report, worker_stats = backend.run(
             ids, spec, jobs=jobs, on_outcome=report_outcome
@@ -421,6 +451,12 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if ephemeral_dir is not None:
             shutil.rmtree(ephemeral_dir, ignore_errors=True)
+    obs.emit(
+        "run_end",
+        status="ok" if report.ok else "failed",
+        ok=len(report.outcomes) - len(report.failures),
+        total=len(report.outcomes),
+    )
     if store is not None:
         store.stats.merge(worker_stats)
 
@@ -442,8 +478,12 @@ def main(argv: list[str] | None = None) -> int:
             registry.inc("obs.stale_shards_skipped", stale)
             logger.warning("skipped %d stale telemetry shard(s)", stale)
         metrics_doc = obs.metrics_document(registry, processes)
-        trace_doc = obs.trace_document(events)
+        trace_doc = obs.trace_document(events, trace_id=trace_id)
         obs.disable()
+    if events_on:
+        count = obs.get_event_log().count if obs.get_event_log() else 0
+        obs.disable_events()
+        print(f"events written to {args.events_out} ({count} event(s))")
 
     report_write_failed = False
     if args.out:
@@ -492,7 +532,8 @@ def main(argv: list[str] | None = None) -> int:
 
         try:
             record = build_record(
-                report=report, metrics_doc=metrics_doc, config=config
+                report=report, metrics_doc=metrics_doc, config=config,
+                trace_id=trace_id,
             )
             RunLedger(args.ledger_dir).append(record)
         except OSError as exc:

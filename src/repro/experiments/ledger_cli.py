@@ -60,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
     html.add_argument("--ledger-dir", required=True)
     html.add_argument("--out", default="dashboard.html")
     html.add_argument("--trace", help="trace.json path to reference for drill-down")
+    html.add_argument(
+        "--events",
+        help="events.jsonl from a fleet run; renders the fleet-lane timeline",
+    )
     return parser
 
 
@@ -92,7 +96,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     }
     table = Table(
         title=f"ledger: {len(records)} run(s)",
-        headers=["run_id", "rev", "ok", "total", "span_s", "drift"],
+        headers=["run_id", "rev", "ok", "total", "span_s", "trace", "drift"],
     )
     for record in records[-args.limit:]:
         experiments = record.get("experiments", {})
@@ -103,6 +107,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             ok,
             len(experiments),
             float(record.get("span_total_s", 0.0)),
+            str(record.get("trace_id", ""))[:12] or "-",
             "latest" if record is records[-1] and drifted else "",
         )
     print(table.render())
@@ -151,7 +156,9 @@ def _cmd_html(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import _atomic_write_text
 
     records = RunLedger(args.ledger_dir).records()
-    payload = dashboard.render_dashboard(records, trace_path=args.trace)
+    payload = dashboard.render_dashboard(
+        records, trace_path=args.trace, events_path=args.events
+    )
     _atomic_write_text(args.out, payload)
     print(f"dashboard written to {args.out} "
           f"({len(records)} run(s), {len(payload)} bytes)")

@@ -34,6 +34,14 @@ import os
 from typing import Any
 
 from repro.obs.dashboard import render_dashboard
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    EventLog,
+    format_event,
+    iter_events,
+    read_events,
+)
 from repro.obs.ledger import (
     LEDGER_FILENAME,
     LEDGER_VERSION,
@@ -60,9 +68,20 @@ from repro.obs.recorder import (
     Span,
     TelemetryRecorder,
 )
+from repro.obs.tracectx import (
+    ClockSync,
+    correct_shard,
+    new_span_id,
+    new_trace_id,
+    timeline_now_us,
+)
 from repro.obs.trends import detect_drift, diff_records, flatten, history, robust_z
 
 __all__ = [
+    "ClockSync",
+    "EVENT_KINDS",
+    "EVENTS_VERSION",
+    "EventLog",
     "Histogram",
     "LEDGER_FILENAME",
     "LEDGER_VERSION",
@@ -74,37 +93,54 @@ __all__ = [
     "Span",
     "TelemetryRecorder",
     "build_record",
+    "correct_shard",
     "determinism_view",
     "detect_drift",
     "diff_records",
     "disable",
+    "disable_events",
+    "emit",
     "enable",
+    "enable_events",
     "enabled",
     "ensure_worker",
+    "ensure_worker_events",
+    "events_enabled",
     "flatten",
     "flush_worker",
+    "format_event",
     "gauge",
+    "get_event_log",
     "get_recorder",
     "headline_metrics",
     "history",
     "inc",
+    "iter_events",
     "labelled",
     "load_shards",
     "merge_shards",
     "metrics_document",
+    "new_span_id",
+    "new_trace_id",
     "observe",
     "profile_report",
     "quantile",
+    "read_events",
+    "recent_events",
     "render_dashboard",
     "robust_z",
     "scan_shards",
     "span",
     "summary_table",
+    "timeline_now_us",
     "trace_document",
 ]
 
 #: the process-global recorder; ``None`` means telemetry is off.
 _recorder: TelemetryRecorder | None = None
+
+#: the process-global event log; ``None`` means the event stream is off.
+_events: EventLog | None = None
 
 
 def enable(recorder: TelemetryRecorder) -> TelemetryRecorder:
@@ -158,12 +194,75 @@ def gauge(name: str, value: float, **labels: Any) -> None:
         recorder.metrics.gauge(name, value, **labels)
 
 
+def emit(kind: str, **fields: Any) -> None:
+    """Record one lifecycle event (no-op while the event stream is off)."""
+    log = _events
+    if log is not None:
+        log.emit(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# event-stream lifecycle
+# ----------------------------------------------------------------------
+
+def enable_events(log: EventLog) -> EventLog:
+    """Install ``log`` as this process's event sink."""
+    global _events
+    _events = log
+    return log
+
+
+def disable_events() -> None:
+    global _events
+    if _events is not None:
+        _events.close()
+    _events = None
+
+
+def events_enabled() -> bool:
+    return _events is not None
+
+
+def get_event_log() -> EventLog | None:
+    return _events
+
+
+def recent_events(n: int = 16) -> tuple[str, ...]:
+    """The flight recorder's last ``n`` events (crash/partition context)."""
+    log = _events
+    if log is None:
+        return ()
+    return tuple(log.recent(n))
+
+
+def ensure_worker_events(path: str | None, trace_id: str = "") -> EventLog | None:
+    """Point a worker process's event sink at the run's event file.
+
+    Fork workers inherit the parent's :class:`EventLog` (same path, a
+    shared ``O_APPEND`` descriptor — whole-line appends interleave
+    safely), so an inherited log targeting the same file is kept.
+    ``path=None`` (events off, or a remote worker whose coordinator
+    owns the file) drops any inherited log.
+    """
+    global _events
+    if path is None:
+        _events = None
+        return None
+    log = _events
+    if log is not None and log.path == str(path):
+        return log
+    return enable_events(EventLog(path, trace_id=trace_id))
+
+
 # ----------------------------------------------------------------------
 # worker-process lifecycle (used by repro.runtime.parallel)
 # ----------------------------------------------------------------------
 
 def ensure_worker(
-    shard_dir: str | None, process: str = "worker", profile: bool = False
+    shard_dir: str | None,
+    process: str = "worker",
+    profile: bool = False,
+    trace_id: str = "",
 ) -> TelemetryRecorder | None:
     """Give a worker process its own recorder writing to ``shard_dir``.
 
@@ -182,7 +281,8 @@ def ensure_worker(
     if recorder is not None and recorder.pid == os.getpid():
         return recorder
     return enable(TelemetryRecorder(
-        process=process, profile=profile, shard_dir=shard_dir
+        process=process, profile=profile, shard_dir=shard_dir,
+        trace_id=trace_id,
     ))
 
 

@@ -146,6 +146,7 @@ def build_record(
     rev: str | None = None,
     run_id: str | None = None,
     notes: str | None = None,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """Assemble one ledger record from a run's report + telemetry.
 
@@ -194,6 +195,9 @@ def build_record(
         "span_total_s": round(sum(span_totals.values()), 6),
         "science": headline_metrics(results),
         "notes": notes or "",
+        # links this record to the run's trace/event artefacts ("" for
+        # uninstrumented runs and pre-tracing records)
+        "trace_id": trace_id or "",
     }
 
 

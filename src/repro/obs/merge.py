@@ -66,6 +66,12 @@ SCHEDULE_DEPENDENT_PREFIXES = (
     "runner.chips_",
     "runner.inputs_",
     "pv.populations_",
+    # RPC frame traffic and event emission scale with heartbeat cadence,
+    # steals, and resubmissions — schedule-dependent by definition; clock
+    # samples depend on network round trips.
+    "frames.",
+    "events.",
+    "clock.",
 )
 
 _SHARD_NAME = re.compile(r"^shard-v(\d+)-(\d+)-\d+\.json$")
@@ -150,9 +156,20 @@ def metrics_document(
     }
 
 
-def trace_document(events: list[dict[str, Any]]) -> dict[str, Any]:
-    """A Chrome trace-event JSON document (Perfetto-loadable)."""
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+def trace_document(
+    events: list[dict[str, Any]], trace_id: str | None = None
+) -> dict[str, Any]:
+    """A Chrome trace-event JSON document (Perfetto-loadable).
+
+    ``trace_id`` (when the run has one) rides in the top-level
+    ``metadata`` object — Perfetto ignores unknown top-level keys, and
+    it lets tooling link a trace file back to its ledger record and
+    event stream.
+    """
+    doc: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if trace_id:
+        doc["metadata"] = {"trace_id": trace_id}
+    return doc
 
 
 def determinism_view(metrics_doc: dict[str, Any]) -> dict[str, Any]:

@@ -101,11 +101,13 @@ class TelemetryRecorder:
         profile: bool = False,
         profile_top: int = 5,
         shard_dir: str | os.PathLike | None = None,
+        trace_id: str = "",
     ) -> None:
         self.metrics = MetricsRegistry()
         self.events: list[dict[str, Any]] = []
         self.profiles: list[dict[str, Any]] = []
         self.process = process
+        self.trace_id = trace_id
         self.pid = os.getpid()
         self.profile = profile
         self.profile_top = profile_top
@@ -131,6 +133,9 @@ class TelemetryRecorder:
         profile: cProfile.Profile | None,
     ) -> None:
         duration = end - start
+        args = {key: _jsonable(value) for key, value in attrs.items()}
+        if self.trace_id:
+            args.setdefault("trace_id", self.trace_id)
         self.events.append({
             "name": name,
             "cat": name.split(".", 1)[0],
@@ -139,7 +144,7 @@ class TelemetryRecorder:
             "dur": round(duration * 1e6, 1),
             "pid": self.pid,
             "tid": threading.get_native_id(),
-            "args": {key: _jsonable(value) for key, value in attrs.items()},
+            "args": args,
         })
         self.metrics.observe(f"span.{name}.s", duration)
         self.metrics.inc("span.count", span=name)
@@ -170,6 +175,7 @@ class TelemetryRecorder:
             "version": SHARD_VERSION,
             "process": self.process,
             "pid": self.pid,
+            "trace_id": self.trace_id,
             "metrics": self.metrics.snapshot(include_values=True),
             "trace_events": list(self.events),
             "profiles": list(self.profiles),

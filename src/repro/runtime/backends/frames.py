@@ -25,7 +25,10 @@ import json
 import pickle
 import socket
 import struct
+import time
 from typing import Any
+
+from repro import obs
 
 #: a frame longer than this is a protocol error, not a big result —
 #: generous enough for any pickled RunOutcome the harness produces
@@ -86,6 +89,25 @@ def unpack_pickle(text: str) -> Any:
         raise FrameError(f"undecodable pickle payload: {exc}") from exc
 
 
+def _note_frame(direction: str, frame_type: Any, nbytes: int, elapsed: float) -> None:
+    """Per-frame-type RPC metrics (no-op while telemetry is off).
+
+    Byte and latency histograms per frame type: ``frames.sent_bytes``
+    and ``frames.sent_s`` time the blocking ``sendall`` (backpressure
+    shows up here); ``frames.recv_bytes`` and ``frames.recv_wait_s``
+    time the read including the wait for the peer.  All of it is
+    schedule-dependent (heartbeat cadence, steals) and excluded from
+    the determinism view.
+    """
+    if not obs.enabled():
+        return
+    ftype = str(frame_type or "unknown")
+    obs.inc(f"frames.{direction}", type=ftype)
+    obs.observe(f"frames.{direction}_bytes", nbytes, type=ftype)
+    suffix = "recv_wait_s" if direction == "recv" else "sent_s"
+    obs.observe(f"frames.{suffix}", elapsed, type=ftype)
+
+
 class FrameStream:
     """Blocking frame reader/writer over one connected socket."""
 
@@ -94,7 +116,12 @@ class FrameStream:
         self._buffer = b""
 
     def send(self, payload: dict[str, Any]) -> None:
-        self.sock.sendall(encode_frame(payload))
+        blob = encode_frame(payload)
+        start = time.perf_counter()
+        self.sock.sendall(blob)
+        _note_frame(
+            "sent", payload.get("type"), len(blob), time.perf_counter() - start
+        )
 
     def recv(self, timeout: float | None = None) -> dict[str, Any] | None:
         """The next frame, or None on clean EOF at a frame boundary.
@@ -103,6 +130,7 @@ class FrameStream:
         :class:`FrameError`.  ``timeout`` bounds the whole read;
         expiring raises ``TimeoutError`` (``socket.timeout``).
         """
+        start = time.perf_counter()
         self.sock.settimeout(timeout)
         while not self._buffered_frame_complete():
             chunk = self.sock.recv(_RECV_CHUNK)
@@ -113,7 +141,12 @@ class FrameStream:
                     )
                 return None
             self._buffer += chunk
+        buffered = len(self._buffer)
         payload, self._buffer = decode_frame(self._buffer)
+        _note_frame(
+            "recv", payload.get("type"), buffered - len(self._buffer),
+            time.perf_counter() - start,
+        )
         return payload
 
     def _buffered_frame_complete(self) -> bool:

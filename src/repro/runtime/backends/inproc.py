@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.runtime.backends.base import ExecutorBackend
 from repro.runtime.checkpoint import CheckpointStore, StoreStats
 from repro.runtime.executor import RunOutcome, RunReport, run_many
@@ -38,16 +39,54 @@ class InprocBackend(ExecutorBackend):
                 claim_poll_s=spec.claim_poll_s,
             )
         ctx = ExperimentContext(spec.config, store=store)
+        for eid in experiment_ids:
+            obs.emit("scheduled", experiment=eid, worker="inproc")
         report = run_many(
             experiment_ids,
             ctx,
             retries=spec.retries,
             timeout_s=spec.timeout_s,
             retry_backoff_s=spec.retry_backoff_s,
-            resolve=self._resolve(spec),
-            on_outcome=on_outcome,
+            resolve=self._event_resolve(self._resolve(spec)),
+            on_outcome=self._event_outcome(on_outcome),
         )
         return report, store.stats if store is not None else StoreStats()
+
+    @staticmethod
+    def _event_resolve(
+        resolve: Callable[[str], Callable] | None,
+    ) -> Callable[[str], Callable] | None:
+        """Emit ``started`` when the serial executor picks a task up."""
+        if not obs.events_enabled():
+            return resolve
+        if resolve is None:
+            from repro.experiments.registry import get_experiment as resolve
+
+        def wrapped(experiment_id: str) -> Callable:
+            obs.emit("started", experiment=experiment_id, worker="inproc")
+            return resolve(experiment_id)
+
+        return wrapped
+
+    @staticmethod
+    def _event_outcome(
+        on_outcome: Callable[[RunOutcome], None] | None,
+    ) -> Callable[[RunOutcome], None] | None:
+        if not obs.events_enabled():
+            return on_outcome
+
+        def wrapped(outcome: RunOutcome) -> None:
+            obs.emit(
+                "result",
+                experiment=outcome.experiment_id,
+                worker="inproc",
+                status="ok" if outcome.ok else outcome.failure.kind,
+                elapsed_s=round(outcome.elapsed_s, 3),
+            )
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        return wrapped
 
     @staticmethod
     def _resolve(spec: WorkerSpec) -> Callable[[str], Callable] | None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.runtime.backends.base import ExecutorBackend
 from repro.runtime.checkpoint import StoreStats
 from repro.runtime.executor import RunOutcome, RunReport
@@ -31,6 +32,8 @@ class ProcpoolBackend(ExecutorBackend):
         on_outcome: Callable[[RunOutcome], None] | None = None,
         crash_retries: int = 1,
     ) -> tuple[RunReport, StoreStats]:
+        for eid in experiment_ids:
+            obs.emit("scheduled", experiment=eid, worker="procpool")
         return run_fleet(
             experiment_ids,
             spec,

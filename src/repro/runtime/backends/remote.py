@@ -40,15 +40,18 @@ locally.
 from __future__ import annotations
 
 import dataclasses
+import json
 import queue
 import socket
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs.tracectx import ClockSync, correct_shard, shard_filename, timeline_now_us
 from repro.runtime.backends.base import ExecutorBackend, SubmissionOrderMerger
 from repro.runtime.backends.frames import FrameError, FrameStream, pack_pickle, unpack_pickle
 from repro.runtime.backends.procpool import ProcpoolBackend
@@ -111,6 +114,15 @@ class _WorkerConn:
         self.last_seen = time.monotonic()
         self.tasks: deque[str] = deque()
         self.alive = True
+        #: worker process id from hello_ok (0 for pre-tracing workers)
+        self.pid = 0
+        #: clock-offset estimator for this worker's timeline (shared
+        #: across reconnects to the same pid via the run's registry)
+        self.clock = ClockSync()
+        #: send time of the in-flight task frame — paired with the ack
+        #: heartbeat's ``now_us`` it yields one clock-offset sample
+        self.task_sent_us: float | None = None
+        self.task_acked = False
         self._chaos = chaos
         self._reader = threading.Thread(
             target=self._read_loop,
@@ -157,12 +169,18 @@ class _WorkerConn:
 
 def _handshake(
     address: tuple[str, int], spec_blob: str, options: RemoteOptions
-) -> FrameStream:
-    """Connect + hello on one address; raises OSError/FrameError on failure."""
+) -> tuple[FrameStream, dict[str, Any], float, float]:
+    """Connect + hello on one address; raises OSError/FrameError on failure.
+
+    Returns ``(stream, hello_ok, t_send_us, t_recv_us)`` — the send/recv
+    timeline timestamps bracket the worker's ``now_us`` in the reply,
+    which is one NTP-style clock-offset sample for free.
+    """
     sock = socket.create_connection(address, timeout=options.connect_timeout_s)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     stream = FrameStream(sock)
     try:
+        t_send_us = timeline_now_us()
         stream.send(
             {
                 "type": "hello",
@@ -172,6 +190,7 @@ def _handshake(
             }
         )
         reply = stream.recv(timeout=options.connect_timeout_s)
+        t_recv_us = timeline_now_us()
     except TimeoutError:
         stream.close()
         raise OSError("worker did not answer the hello in time") from None
@@ -181,7 +200,7 @@ def _handshake(
     if reply is None or reply.get("type") != "hello_ok":
         stream.close()
         raise OSError(f"bad hello reply: {reply!r}")
-    return stream
+    return stream, reply, t_send_us, t_recv_us
 
 
 class RemoteBackend(ExecutorBackend):
@@ -191,6 +210,9 @@ class RemoteBackend(ExecutorBackend):
         if not options.workers:
             raise ValueError("remote backend needs at least one worker address")
         self.options = options
+        self._clock_by_pid: dict[int, ClockSync] = {}
+        self._shards_by_pid: dict[int, dict[str, Any]] = {}
+        self._span_ctx: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -204,12 +226,25 @@ class RemoteBackend(ExecutorBackend):
         options = self.options
         # started-markers are a process-pool blame device; remote blame
         # is connection-based, and the parent's scratch dir would not
-        # exist on a remote machine anyway.
-        shipped = dataclasses.replace(spec, scratch_dir=None)
+        # exist on a remote machine anyway.  Telemetry/event paths are
+        # coordinator-local too: worker spans travel back inside result
+        # frames (clock-corrected here), worker events are synthesised
+        # here from protocol traffic.  The trace id stays — it is what
+        # stitches the worker's shard into this run's trace.
+        shipped = dataclasses.replace(
+            spec, scratch_dir=None, telemetry_dir=None, events_path=None
+        )
         spec_blob = pack_pickle(shipped)
         merger = SubmissionOrderMerger(experiment_ids, on_outcome)
         stats = StoreStats()
         inbox: "queue.Queue[tuple[int, str, Any]]" = queue.Queue()
+        # run-local tracing state (reset per run; reader threads never
+        # touch these — all frame handling happens on this thread)
+        self._clock_by_pid: dict[int, ClockSync] = {}
+        self._shards_by_pid: dict[int, dict[str, Any]] = {}
+        self._span_ctx = (
+            {"parent": spec.parent_span_id} if spec.trace_id else None
+        )
 
         workers = self._connect_fleet(spec_blob, inbox)
         if not workers:
@@ -218,6 +253,7 @@ class RemoteBackend(ExecutorBackend):
                 ", ".join(options.workers),
             )
             obs.inc("backend.downgrades")
+            obs.emit("downgrade", reason="no remote worker reachable")
             return ProcpoolBackend().run(
                 experiment_ids, spec, jobs=jobs,
                 on_outcome=on_outcome, crash_retries=crash_retries,
@@ -227,7 +263,9 @@ class RemoteBackend(ExecutorBackend):
         # Deterministic round-robin pre-assignment; stealing rebalances.
         order = sorted(workers)
         for position, eid in enumerate(experiment_ids):
-            workers[order[position % len(order)]].tasks.append(eid)
+            target = workers[order[position % len(order)]]
+            target.tasks.append(eid)
+            obs.emit("scheduled", experiment=eid, worker=target.label)
         unassigned: deque[str] = deque()
         lost: dict[str, int] = {}
         #: reconnect schedule: address -> (attempt, not-before monotonic)
@@ -258,7 +296,55 @@ class RemoteBackend(ExecutorBackend):
                 for conn in workers.values():
                     conn.send({"type": "bye"})
                     conn.close()
+                self._write_worker_shards(spec)
         return merger.report(), stats
+
+    def _write_worker_shards(self, spec: WorkerSpec) -> None:
+        """Rebase collected worker shards onto the coordinator timeline.
+
+        Each remote worker's spans are stamped against its own
+        ``perf_counter`` epoch — meaningless here.  The per-pid
+        :class:`ClockSync` (fed by hello and task-ack round trips)
+        shifts them onto this process's timeline; the corrected shard
+        lands in ``spec.telemetry_dir`` under the standard shard name,
+        so the existing merge path picks it up like any local shard.
+        """
+        if not spec.telemetry_dir or not self._shards_by_pid:
+            return
+        for seq, pid in enumerate(sorted(self._shards_by_pid)):
+            sync = self._clock_by_pid.get(pid) or ClockSync()
+            doc = correct_shard(self._shards_by_pid[pid], sync)
+            path = Path(spec.telemetry_dir) / shard_filename(pid, seq)
+            tmp = path.with_suffix(".tmp")
+            try:
+                tmp.write_text(json.dumps(doc, sort_keys=True))
+                tmp.replace(path)
+            except OSError as exc:
+                logger.warning("could not write worker shard %s: %s", path, exc)
+            else:
+                obs.inc("clock.shards_corrected")
+                logger.info(
+                    "worker pid %d shard rebased (%s)", pid, sync.describe()
+                )
+
+    def _register_clock(
+        self, conn: _WorkerConn, reply: dict[str, Any],
+        t_send_us: float, t_recv_us: float,
+    ) -> None:
+        """Fold one hello round trip into the worker's clock estimate."""
+        conn.pid = int(reply.get("pid") or 0)
+        conn.clock = self._clock_by_pid.setdefault(conn.pid, ClockSync())
+        now_us = reply.get("now_us")
+        if now_us is None:  # pre-tracing worker: stays uncorrected
+            return
+        if conn.clock.add_sample(t_send_us, float(now_us), t_recv_us):
+            obs.inc("clock.samples")
+            obs.emit(
+                "clock", worker=conn.label, pid=conn.pid,
+                tier=conn.clock.quality,
+                offset_us=round(conn.clock.offset_us or 0.0, 1),
+                uncertainty_us=round(conn.clock.uncertainty_us or 0.0, 1),
+            )
 
     # ------------------------------------------------------------------
     def _connect_fleet(
@@ -271,7 +357,9 @@ class RemoteBackend(ExecutorBackend):
             address = parse_address(text)
             for attempt in range(1, options.connect_attempts + 1):
                 try:
-                    stream = _handshake(address, spec_blob, options)
+                    stream, reply, t_send, t_recv = _handshake(
+                        address, spec_blob, options
+                    )
                 except (OSError, FrameError) as exc:
                     logger.warning(
                         "connect to %s:%d failed (attempt %d/%d): %s",
@@ -289,6 +377,7 @@ class RemoteBackend(ExecutorBackend):
                     workers[index] = _WorkerConn(
                         index, address, stream, inbox, options.chaos_net
                     )
+                    self._register_clock(workers[index], reply, t_send, t_recv)
                     logger.info("connected to %s", workers[index].label)
                     break
         return workers
@@ -319,6 +408,10 @@ class RemoteBackend(ExecutorBackend):
                 if victim is not None:
                     task = victim.tasks.pop()
                     obs.inc("backend.steals")
+                    obs.emit(
+                        "steal", experiment=task,
+                        worker=conn.label, victim=victim.label,
+                    )
                     logger.info(
                         "%s stole %s from %s", conn.label, task, victim.label
                     )
@@ -326,9 +419,15 @@ class RemoteBackend(ExecutorBackend):
                 continue
             conn.inflight = task
             conn.last_seen = time.monotonic()
+            conn.task_sent_us = timeline_now_us()
+            conn.task_acked = False
+            obs.emit("claimed", experiment=task, worker=conn.label)
             if self.options.chaos_net is not None:
                 self.options.chaos_net.task_sent(conn.index)
-            if not conn.send({"type": "task", "experiment_id": task}):
+            frame: dict[str, Any] = {"type": "task", "experiment_id": task}
+            if self._span_ctx is not None:
+                frame["span"] = self._span_ctx
+            if not conn.send(frame):
                 # the send itself failed: the loss path below will
                 # resubmit; the "gone" event from the reader finishes
                 # the cleanup
@@ -378,13 +477,40 @@ class RemoteBackend(ExecutorBackend):
         spec: WorkerSpec,
         unassigned: deque[str],
     ) -> None:
+        t_recv_us = timeline_now_us()
         conn.last_seen = time.monotonic()
         frame_type = payload.get("type")
         if frame_type == "heartbeat":
             obs.inc("backend.heartbeats")
+            eid = payload.get("experiment_id")
+            obs.emit("heartbeat", experiment=eid, worker=conn.label)
+            if payload.get("ack") and not conn.task_acked:
+                # the immediate task ack: the worker's timestamp between
+                # our send and this receive is a clock-offset sample,
+                # and "the worker actually started" is an event
+                conn.task_acked = True
+                now_us = payload.get("now_us")
+                if (now_us is not None and conn.task_sent_us is not None
+                        and conn.clock.add_sample(
+                            conn.task_sent_us, float(now_us), t_recv_us)):
+                    obs.inc("clock.samples")
+                    obs.emit(
+                        "clock", worker=conn.label, pid=conn.pid,
+                        tier=conn.clock.quality,
+                        offset_us=round(conn.clock.offset_us or 0.0, 1),
+                        uncertainty_us=round(conn.clock.uncertainty_us or 0.0, 1),
+                    )
+                obs.emit("started", experiment=eid, worker=conn.label)
             return
         if frame_type == "result":
             eid = payload.get("experiment_id")
+            shard = payload.get("shard")
+            if isinstance(shard, dict):
+                # cumulative snapshot: the latest one per worker pid
+                # supersedes the previous (stale results still carry
+                # valid spans, so keep theirs too)
+                pid = int(shard.get("pid") or conn.pid)
+                self._shards_by_pid[pid] = shard
             if eid != conn.inflight:
                 # a stale result from before a resubmission; the claim
                 # protocol already made the duplicate harmless
@@ -394,6 +520,11 @@ class RemoteBackend(ExecutorBackend):
             if payload.get("stats"):
                 stats.merge(payload["stats"])
             conn.inflight = None
+            obs.emit(
+                "result", experiment=eid, worker=conn.label,
+                status="ok" if outcome.ok else outcome.failure.kind,
+                elapsed_s=round(outcome.elapsed_s, 3),
+            )
             if eid not in merger:
                 merger.add(outcome)
             return
@@ -404,6 +535,7 @@ class RemoteBackend(ExecutorBackend):
             eid = payload.get("experiment_id")
             message = payload.get("message", "remote task error")
             logger.warning("%s reported task error for %s: %s", conn.label, eid, message)
+            obs.emit("crash", experiment=eid, worker=conn.label, reason=message)
             if eid == conn.inflight:
                 conn.inflight = None
                 if eid not in merger:
@@ -456,6 +588,9 @@ class RemoteBackend(ExecutorBackend):
         obs.inc("backend.dead_workers")
         if kind == "partition":
             obs.inc("backend.partitions")
+        obs.emit(
+            kind, worker=conn.label, experiment=conn.inflight, reason=reason
+        )
         logger.warning("%s lost (%s): %s", conn.label, kind, reason)
         # queued-but-never-started tasks migrate blame-free
         unassigned.extend(conn.tasks)
@@ -473,6 +608,11 @@ class RemoteBackend(ExecutorBackend):
                 )
             else:
                 obs.inc("backend.resubmits")
+                obs.emit(
+                    "resubmit", experiment=eid,
+                    reason=f"{kind} on {conn.label} "
+                           f"({lost[eid]}/{crash_retries})",
+                )
                 logger.warning(
                     "resubmitting %s (lost %d/%d)", eid, lost[eid], crash_retries
                 )
@@ -500,7 +640,9 @@ class RemoteBackend(ExecutorBackend):
             if now < not_before:
                 continue
             try:
-                stream = _handshake(address, spec_blob, options)
+                stream, reply, t_send, t_recv = _handshake(
+                    address, spec_blob, options
+                )
             except (OSError, FrameError) as exc:
                 if attempt >= options.reconnect_attempts:
                     logger.warning(
@@ -520,6 +662,7 @@ class RemoteBackend(ExecutorBackend):
                 workers[next_index] = _WorkerConn(
                     next_index, address, stream, inbox, options.chaos_net
                 )
+                self._register_clock(workers[next_index], reply, t_send, t_recv)
                 obs.inc("backend.reconnects")
                 logger.info("reconnected to %s", workers[next_index].label)
                 next_index += 1
@@ -542,6 +685,10 @@ class RemoteBackend(ExecutorBackend):
             "via procpool", len(remaining),
         )
         obs.inc("backend.downgrades")
+        obs.emit(
+            "downgrade",
+            reason=f"remote pool fully lost; {len(remaining)} task(s) to procpool",
+        )
         report, fallback_stats = ProcpoolBackend(prefetch=False).run(
             remaining, spec, jobs=jobs, crash_retries=crash_retries
         )
@@ -564,5 +711,6 @@ def _blame_outcome(
         config_fingerprint=config_fingerprint(spec.config),
         elapsed_s=0.0,
         attempts=attempts,
+        context=obs.recent_events(),
     )
     return RunOutcome(experiment_id, None, failure, 0.0, attempts=attempts)

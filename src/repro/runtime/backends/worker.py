@@ -30,11 +30,14 @@ protocol makes the duplicated computation harmless.
 from __future__ import annotations
 
 import argparse
+import os
 import socket
 import threading
+import time
 from typing import Any
 
 from repro import obs
+from repro.obs.tracectx import timeline_now_us
 from repro.runtime.backends.frames import FrameError, FrameStream, pack_pickle, unpack_pickle
 from repro.runtime.log import configure, get_logger
 from repro.runtime.parallel import WorkerSpec, _run_experiment_task
@@ -44,15 +47,62 @@ logger = get_logger("worker")
 PROTOCOL_VERSION = 1
 
 
+class _WorkerState:
+    """Live counters one worker process exposes via ``status`` frames."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.tasks_served = 0
+        self.sessions_total = 0
+        self.inflight: dict[str, str] = {}  # peer -> experiment_id
+
+    def task_started(self, peer: str, experiment_id: str) -> None:
+        with self._lock:
+            self.inflight[peer] = experiment_id
+
+    def task_finished(self, peer: str) -> None:
+        with self._lock:
+            self.inflight.pop(peer, None)
+            self.tasks_served += 1
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "status_ok",
+                "protocol": PROTOCOL_VERSION,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "sessions_total": self.sessions_total,
+                "tasks_served": self.tasks_served,
+                "inflight": sorted(self.inflight.values()),
+                "tracing": obs.enabled(),
+            }
+
+
 def _run_task(
-    stream: FrameStream, spec: WorkerSpec, experiment_id: str, heartbeat_s: float
+    stream: FrameStream,
+    spec: WorkerSpec,
+    experiment_id: str,
+    heartbeat_s: float,
+    span_ctx: dict[str, Any] | None = None,
 ) -> None:
     """Execute one task, heartbeating until the body thread finishes."""
     box: dict[str, Any] = {}
 
     def body() -> None:
         try:
-            box["outcome"], box["stats"] = _run_experiment_task(spec, experiment_id)
+            if span_ctx:
+                with obs.span("worker.remote_task", experiment=experiment_id,
+                              parent_span_id=span_ctx.get("parent")):
+                    box["outcome"], box["stats"] = _run_experiment_task(
+                        spec, experiment_id
+                    )
+            else:
+                box["outcome"], box["stats"] = _run_experiment_task(
+                    spec, experiment_id
+                )
         except BaseException as exc:  # reported, never kills the session
             box["error"] = f"{type(exc).__name__}: {exc}"
 
@@ -61,11 +111,19 @@ def _run_task(
     )
     thread.start()
     # the immediate ack doubles as "task accepted" for the deadline clock
-    stream.send({"type": "heartbeat", "experiment_id": experiment_id})
+    # and — carrying the worker's timeline clock against the send time
+    # the coordinator recorded — one NTP-style clock-offset sample
+    stream.send({
+        "type": "heartbeat", "experiment_id": experiment_id,
+        "ack": True, "now_us": round(timeline_now_us(), 1),
+    })
     while thread.is_alive():
         thread.join(timeout=heartbeat_s)
         if thread.is_alive():
-            stream.send({"type": "heartbeat", "experiment_id": experiment_id})
+            stream.send({
+                "type": "heartbeat", "experiment_id": experiment_id,
+                "now_us": round(timeline_now_us(), 1),
+            })
     if "error" in box:
         logger.warning("task %s broke: %s", experiment_id, box["error"])
         stream.send(
@@ -76,22 +134,35 @@ def _run_task(
             }
         )
         return
-    stream.send(
-        {
-            "type": "result",
-            "experiment_id": experiment_id,
-            "outcome": pack_pickle(box["outcome"]),
-            "stats": box["stats"] or {},
-        }
-    )
+    result = {
+        "type": "result",
+        "experiment_id": experiment_id,
+        "outcome": pack_pickle(box["outcome"]),
+        "stats": box["stats"] or {},
+    }
+    # Ship the cumulative telemetry snapshot with every result: the
+    # coordinator keeps the latest per pid and rebases it through the
+    # clock-offset estimate — this is how remote worker spans reach the
+    # merged trace at all (their raw epochs are incomparable).
+    recorder = obs.get_recorder()
+    if recorder is not None:
+        result["shard"] = recorder.snapshot_doc()
+    stream.send(result)
 
 
-def _serve_session(sock: socket.socket, peer: str) -> None:
+def _serve_session(sock: socket.socket, peer: str, state: _WorkerState) -> None:
     """One coordinator connection, hello through bye."""
     stream = FrameStream(sock)
     try:
         hello = stream.recv(timeout=10.0)
-        if hello is None or hello.get("type") != "hello":
+        if hello is None:
+            logger.warning("%s: no hello; dropping", peer)
+            return
+        if hello.get("type") == "status":
+            # a fleet-health probe, not a coordinator: answer and close
+            stream.send(state.status())
+            return
+        if hello.get("type") != "hello":
             logger.warning("%s: no hello (got %r); dropping", peer, hello)
             return
         if hello.get("protocol") != PROTOCOL_VERSION:
@@ -102,8 +173,22 @@ def _serve_session(sock: socket.socket, peer: str) -> None:
             return
         spec: WorkerSpec = unpack_pickle(hello["spec"])
         heartbeat_s = float(hello.get("heartbeat_s", 0.5))
-        stream.send({"type": "hello_ok", "host": socket.gethostname()})
+        if getattr(spec, "trace_id", None):
+            # traced run: record spans in memory (no shard dir — shards
+            # travel back inside result frames) under the run's trace id.
+            # A new traced session replaces the previous recorder, so a
+            # reused worker never leaks one run's spans into the next.
+            obs.enable(obs.TelemetryRecorder(
+                process="remote-worker", trace_id=spec.trace_id
+            ))
+        stream.send({
+            "type": "hello_ok",
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "now_us": round(timeline_now_us(), 1),
+        })
         logger.info("%s: session open (heartbeat %.2fs)", peer, heartbeat_s)
+        state.sessions_total += 1
         while True:
             frame = stream.recv(timeout=None)
             if frame is None or frame.get("type") == "bye":
@@ -113,7 +198,16 @@ def _serve_session(sock: socket.socket, peer: str) -> None:
                 experiment_id = frame["experiment_id"]
                 logger.info("%s: task %s", peer, experiment_id)
                 obs.inc("backend.worker_tasks")
-                _run_task(stream, spec, experiment_id, heartbeat_s)
+                state.task_started(peer, experiment_id)
+                try:
+                    _run_task(
+                        stream, spec, experiment_id, heartbeat_s,
+                        span_ctx=frame.get("span"),
+                    )
+                finally:
+                    state.task_finished(peer)
+            elif frame.get("type") == "status":
+                stream.send(state.status())
             else:
                 logger.warning("%s: unknown frame %r", peer, frame.get("type"))
     except TimeoutError:
@@ -137,6 +231,7 @@ def serve(host: str, port: int, max_sessions: int | None = None) -> None:
     print(f"READY {bound_port}", flush=True)
     logger.info("worker listening on %s:%d", host, bound_port)
     accepted = 0
+    state = _WorkerState()
     sessions: list[threading.Thread] = []
     try:
         while max_sessions is None or accepted < max_sessions:
@@ -146,7 +241,7 @@ def serve(host: str, port: int, max_sessions: int | None = None) -> None:
             peer = f"{address[0]}:{address[1]}"
             thread = threading.Thread(
                 target=_serve_session,
-                args=(sock, peer),
+                args=(sock, peer, state),
                 name=f"session-{peer}",
                 daemon=True,
             )

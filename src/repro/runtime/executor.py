@@ -41,13 +41,18 @@ class FailureRecord:
     """Everything needed to triage one failed experiment run."""
 
     experiment_id: str
-    kind: str  # "exception" | "timeout" | "crash"
+    kind: str  # "exception" | "timeout" | "crash" | "partition"
     error_type: str
     message: str
     traceback: str
     config_fingerprint: str
     elapsed_s: float
     attempts: int = 1
+    #: flight-recorder dump: the last few structured events before a
+    #: crash/partition blame ("what was the fleet doing").  Deliberately
+    #: excluded from rendered reports — events are schedule-dependent
+    #: and reports must stay bit-identical across backends.
+    context: tuple[str, ...] = ()
 
     def summary(self) -> str:
         return f"{self.experiment_id}: {self.error_type}: {self.message}"

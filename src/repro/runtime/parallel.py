@@ -96,6 +96,14 @@ class WorkerSpec:
     #: shared-memory catalog of population artefacts (set by run_fleet;
     #: workers that cannot attach fall back to local computation)
     shm_catalog: Any = None
+    #: run-scoped trace id propagated into every worker span (None =
+    #: tracing off); remote task frames carry it across the wire
+    trace_id: str | None = None
+    #: the coordinator's run-level span id (parent linkage for workers)
+    parent_span_id: str | None = None
+    #: run event-stream file (None = events off); fork workers append
+    #: directly, remote workers get it nulled (the coordinator emits)
+    events_path: str | None = None
 
 
 # ----------------------------------------------------------------------
@@ -107,7 +115,11 @@ def _worker_context(spec: WorkerSpec):
     from repro.runtime.log import configure
 
     configure(spec.verbose)
-    obs.ensure_worker(spec.telemetry_dir, profile=spec.profile)
+    obs.ensure_worker(
+        spec.telemetry_dir, profile=spec.profile,
+        trace_id=spec.trace_id or "",
+    )
+    obs.ensure_worker_events(spec.events_path, trace_id=spec.trace_id or "")
     store = None
     if spec.checkpoint_dir:
         store = CheckpointStore(
@@ -187,6 +199,7 @@ def _run_experiment_task(
     _mark_started(spec, experiment_id)
     ctx = _worker_context(spec)
     _record_queue_wait(submitted_ts)
+    obs.emit("started", experiment=experiment_id, worker=f"pid:{os.getpid()}")
     try:
         with obs.span("worker.task", experiment=experiment_id):
             resolve = _worker_resolve(spec)
@@ -238,6 +251,7 @@ def _crash_outcome(
     experiment_id: str, spec: WorkerSpec, message: str, attempts: int
 ) -> RunOutcome:
     obs.inc("parallel.crashes")
+    obs.emit("crash", experiment=experiment_id, reason=message)
     failure = FailureRecord(
         experiment_id=experiment_id,
         kind="crash",
@@ -247,6 +261,7 @@ def _crash_outcome(
         config_fingerprint=config_fingerprint(spec.config),
         elapsed_s=0.0,
         attempts=attempts,
+        context=obs.recent_events(),
     )
     return RunOutcome(experiment_id, None, failure, 0.0, attempts=attempts)
 
@@ -384,6 +399,11 @@ def run_many_parallel(
                     if worker_stats:
                         stats.merge(worker_stats)
                     outcomes[eid] = outcome
+                    obs.emit(
+                        "result", experiment=eid,
+                        status="ok" if outcome.ok else outcome.failure.kind,
+                        elapsed_s=round(outcome.elapsed_s, 3),
+                    )
                     flush()
             unfinished = [eid for eid in batch if eid not in outcomes]
             if broken and unfinished:
@@ -403,6 +423,8 @@ def run_many_parallel(
                         "isolating them to identify the culprit",
                         len(blamed), ", ".join(sorted(blamed)),
                     )
+                    for eid in sorted(blamed):
+                        obs.emit("resubmit", experiment=eid, reason="pool died; isolating")
                     isolate.extend(eid for eid in unfinished if eid in blamed)
                     pending.extend(
                         eid for eid in unfinished if eid not in blamed
@@ -423,6 +445,10 @@ def run_many_parallel(
                             logger.warning(
                                 "worker running %s died; retrying (%d/%d)",
                                 eid, crashes[eid], crash_retries,
+                            )
+                            obs.emit(
+                                "resubmit", experiment=eid,
+                                reason=f"worker died ({crashes[eid]}/{crash_retries})",
                             )
                             # a repeat offender re-runs quarantined
                             isolate.append(eid)
