@@ -247,6 +247,11 @@ def main(argv=None) -> int:
                         help="bench_backends.py --json output: warn when a "
                         "backend's overhead over inproc exceeds the "
                         "baseline's backends.max_overhead (never gates)")
+    parser.add_argument("--audit",
+                        help="bench_audit.py --json output: warn when the "
+                        "flight recorder's full/reservoir overhead over the "
+                        "audit-off leg exceeds the baseline's audit "
+                        "watermarks (never gates)")
     parser.add_argument("--baseline", default="benchmarks/baseline.json")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="override the baseline file's tolerance")
@@ -276,10 +281,10 @@ def main(argv=None) -> int:
               f"random.* call sites under {args.lint_root}/")
         return 0
     if not (args.bench or args.metrics or args.ledger or args.backends
-            or args.events):
+            or args.events or args.audit):
         parser.error(
             "nothing to check: pass --bench, --metrics, --ledger, "
-            "--backends and/or --events"
+            "--backends, --events and/or --audit"
         )
 
     with open(args.baseline) as handle:
@@ -383,6 +388,23 @@ def main(argv=None) -> int:
                     f"(watermark {max_overhead:g}x)"
                 )
 
+    audit_doc = None
+    audit_warnings = []
+    if args.audit:
+        with open(args.audit) as handle:
+            audit_doc = json.load(handle)
+        baseline_audit = baseline.get("audit", {})
+        for leg, default_max in (("full", 2.0), ("reservoir", 2.0)):
+            watermark = float(
+                baseline_audit.get(f"max_overhead_{leg}", default_max)
+            )
+            overhead = float(audit_doc.get(f"overhead_{leg}", 0.0))
+            if overhead > watermark:
+                audit_warnings.append(
+                    f"audit {leg}: {overhead:g}x the audit-off sweep "
+                    f"(watermark {watermark:g}x)"
+                )
+
     ledger_findings = []
     ledger_warnings = []
     if args.ledger:
@@ -422,6 +444,8 @@ def main(argv=None) -> int:
         "events_warnings": events_warnings,
         "backends": backends_doc,
         "backends_warnings": backends_warnings,
+        "audit": audit_doc,
+        "audit_warnings": audit_warnings,
         "ledger": ledger_findings,
         "ledger_warnings": ledger_warnings,
         "strict": args.strict,
@@ -460,6 +484,12 @@ def main(argv=None) -> int:
         # it informs the reviewer and never gates, even under --strict.
         print("BACKEND OVERHEAD (warning only):", file=sys.stderr)
         for warning in backends_warnings:
+            print(f"  {warning}", file=sys.stderr)
+    if audit_warnings:
+        # Recording cost is environment-sensitive like backend overhead;
+        # it informs the reviewer and never gates, even under --strict.
+        print("AUDIT OVERHEAD (warning only):", file=sys.stderr)
+        for warning in audit_warnings:
             print(f"  {warning}", file=sys.stderr)
     if events_warnings:
         # Event streams are schedule-dependent by design; counts inform

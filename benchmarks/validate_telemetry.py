@@ -65,6 +65,30 @@ def validate_ledger(ledger_dir: str) -> int:
     return len(records)
 
 
+def validate_audit(stream_path: str) -> int:
+    """Validate a packed audit stream's summary; returns the run count.
+
+    Loads the ``.npz`` written by ``--audit-out``, summarises it with
+    :func:`repro.obs.audit.audit_document`, and checks the summary
+    against ``audit.schema.json``.  An empty stream fails: the CI job
+    audits a scheme-simulation experiment, so zero runs means the
+    instrumentation went dark.
+    """
+    from repro.obs import audit
+
+    document = audit.load_audit(stream_path)
+    summary = audit.audit_document(
+        document["runs"],
+        policy=document.get("policy", "full"),
+        trace_id=document.get("trace_id", ""),
+    )
+    schema = json.loads((SCHEMA_DIR / "audit.schema.json").read_text())
+    check(summary, schema, label=stream_path)
+    if not summary["runs"]:
+        raise ValueError("no runs in the audit stream (recorder went dark)")
+    return len(summary["runs"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--metrics", help="metrics.json to validate")
@@ -73,10 +97,14 @@ def main(argv=None) -> int:
                         help="run-ledger directory whose records to validate")
     parser.add_argument("--events", metavar="PATH",
                         help="events.jsonl whose lines to validate")
+    parser.add_argument("--audit", metavar="PATH",
+                        help="packed audit stream (.npz from --audit-out) "
+                        "whose summary to validate")
     args = parser.parse_args(argv)
-    if not (args.metrics or args.trace or args.ledger or args.events):
+    if not (args.metrics or args.trace or args.ledger or args.events
+            or args.audit):
         parser.error("nothing to validate: pass --metrics, --trace, "
-                     "--ledger and/or --events")
+                     "--ledger, --events and/or --audit")
 
     failures = 0
     for document_path, schema_name in (
@@ -110,6 +138,15 @@ def main(argv=None) -> int:
         else:
             print(f"ok   {args.events}: {count} event(s) conform "
                   "to events.schema.json")
+    if args.audit:
+        try:
+            count = validate_audit(args.audit)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {args.audit}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {args.audit}: {count} audit run(s) conform "
+                  "to audit.schema.json")
     return 1 if failures else 0
 
 

@@ -28,6 +28,7 @@ from repro.core.cslt import AssociativeCSLT, IndependentCSLT
 from repro.core.scheme_sim import ErrorTrace
 from repro.core.schemes.base import Scheme, SchemeResult, record_result
 from repro.core.tags import DcsTag
+from repro.obs import audit
 
 
 class DcsScheme(Scheme):
@@ -91,6 +92,12 @@ class DcsScheme(Scheme):
         owm_init = trace.owm_init
         max_err = trace.max_err
 
+        err_class = trace.err_class
+        stall_penalty = self.pipeline.stall_penalty
+        flush_penalty = self.pipeline.flush_penalty
+        sink = audit.get()
+        rec = sink.begin_scheme_run(self.name, trace) if sink is not None else None
+
         use_owm = self.use_owm
         use_prev = self.use_prev
         for j in range(len(trace)):
@@ -109,16 +116,28 @@ class DcsScheme(Scheme):
                     predicted += 1
                 else:
                     false_positives += 1
+                if rec is not None:
+                    rec.decision(
+                        j, int(err_class[j]),
+                        audit.DEC_PREDICT_HIT if actual else audit.DEC_FALSE_POSITIVE,
+                        stall=1, penalty=stall_penalty,
+                    )
             elif actual:
                 # Sensing + recovery: flush the pipeline, replay, record.
                 flushes += 1
-                if tag in seen_tags:
+                novel = tag not in seen_tags
+                if not novel:
                     capacity_misses += 1  # known tag lost to eviction
                 else:
                     first_occurrences += 1
                     seen_tags.add(tag)
                 table.insert(tag)
+                if rec is not None:
+                    rec.decision(j, int(err_class[j]), audit.DEC_DETECT,
+                                 penalty=flush_penalty, novel=novel)
 
+        if rec is not None:
+            rec.finish(effective_clock_period=trace.clock_period)
         penalty = stalls * self.pipeline.stall_penalty
         penalty += flushes * self.pipeline.flush_penalty
         return record_result(SchemeResult(

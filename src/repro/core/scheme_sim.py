@@ -22,6 +22,7 @@ import numpy as np
 
 from repro import obs
 from repro.arch.operands import operand_size_class, owm_flag
+from repro.obs import audit
 from repro.arch.trace import InstructionTrace
 from repro.circuits.ex_stage import ExStage
 from repro.pv.chip import ChipSample, delay_matrix
@@ -102,6 +103,25 @@ def _assemble_trace(
         # OWM-triggered cycles at the EX stage: the operand-width
         # mismatch signal DCS/Trident key their tags on.
         obs.inc("choke.owm", int(owm[1:].sum()), stage="EX")
+
+    sink = audit.get()
+    if sink is not None:
+        # Provenance for the raw DTA classification: one DEC_NONE record
+        # per errant cycle, before any scheme acts on it.
+        rec = sink.begin_run(
+            kind="etrace",
+            scheme="",
+            benchmark=trace.name,
+            corner=stage.corner.name,
+            base_cycles=len(err_class),
+            clock_period=stage.clock_period,
+            hold_constraint=stage.hold_constraint,
+            t_late=timings.t_late,
+            t_early=timings.t_early,
+        )
+        for j in np.flatnonzero(err_class):
+            rec.decision(int(j), int(err_class[j]), audit.DEC_NONE)
+        rec.finish()
 
     return ErrorTrace(
         benchmark=trace.name,

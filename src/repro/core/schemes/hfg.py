@@ -23,6 +23,7 @@ import numpy as np
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
 from repro.core.schemes.base import Scheme, SchemeResult, record_result
+from repro.obs import audit
 from repro.pv.delaymodel import VTH_NOMINAL, delay_factor
 
 
@@ -74,6 +75,13 @@ class HfgScheme(Scheme):
             trace.clock_period, worst * (1.0 + self.sensor_margin) * pvta
         )
         avoided = int(trace.max_err.sum())
+        sink = audit.get()
+        if sink is not None:
+            rec = sink.begin_scheme_run(self.name, trace)
+            err_class = trace.err_class
+            for j in np.flatnonzero(trace.max_err):
+                rec.decision(int(j), int(err_class[j]), audit.DEC_AVOID)
+            rec.finish(effective_clock_period=period)
         return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,

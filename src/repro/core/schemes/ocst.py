@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
 from repro.core.schemes.base import Scheme, SchemeResult, record_result
+from repro.obs import audit
 
 
 class OcstScheme(Scheme):
@@ -54,6 +55,10 @@ class OcstScheme(Scheme):
         frozen_intervals = 0
         t_late = trace.t_late
         max_err = trace.max_err
+        err_class = trace.err_class
+
+        sink = audit.get()
+        rec = sink.begin_scheme_run(self.name, trace) if sink is not None else None
 
         for j in range(len(trace)):
             effective = period + skew
@@ -66,9 +71,14 @@ class OcstScheme(Scheme):
                     flushes += 1
                     interval_errors += 1
                     elapsed_ps += self.pipeline.flush_penalty * effective
+                    if rec is not None:
+                        rec.decision(j, int(err_class[j]), audit.DEC_DETECT,
+                                     penalty=self.pipeline.flush_penalty)
                 else:
                     # The tuned skew granted enough extra time.
                     avoided += 1
+                    if rec is not None:
+                        rec.decision(j, int(err_class[j]), audit.DEC_AVOID)
             if interval_cycles >= self.interval:
                 rate = interval_errors / interval_cycles
                 if frozen_intervals > 0:
@@ -99,6 +109,8 @@ class OcstScheme(Scheme):
         average_period = elapsed_ps / max(
             base + flushes * self.pipeline.flush_penalty, 1
         )
+        if rec is not None:
+            rec.finish(effective_clock_period=average_period)
         return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,

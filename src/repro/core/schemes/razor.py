@@ -10,9 +10,12 @@ Chapter 4 exposes: choke buffers defeat the insertion at NTC).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.arch.pipeline import DEFAULT_PIPELINE, PipelineConfig
 from repro.core.scheme_sim import ErrorTrace
 from repro.core.schemes.base import Scheme, SchemeResult, record_result
+from repro.obs import audit
 
 
 class RazorScheme(Scheme):
@@ -26,6 +29,15 @@ class RazorScheme(Scheme):
     def simulate(self, trace: ErrorTrace) -> SchemeResult:
         errors = int(trace.max_err.sum())
         penalty = errors * self.pipeline.flush_penalty
+        sink = audit.get()
+        if sink is not None:
+            rec = sink.begin_scheme_run(self.name, trace)
+            err_class = trace.err_class
+            flush_penalty = self.pipeline.flush_penalty
+            for j in np.flatnonzero(trace.max_err):
+                rec.decision(int(j), int(err_class[j]), audit.DEC_DETECT,
+                             penalty=flush_penalty)
+            rec.finish(effective_clock_period=trace.clock_period)
         return record_result(SchemeResult(
             scheme=self.name,
             benchmark=trace.benchmark,

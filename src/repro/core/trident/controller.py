@@ -27,6 +27,7 @@ from repro.core.schemes.base import Scheme, SchemeResult, record_result
 from repro.core.tags import EX_STAGE, ErrorId
 from repro.core.trident.cet import ChokeErrorTable
 from repro.core.trident.tdc import TransitionDetectorCounter
+from repro.obs import audit
 from repro.timing.dta import ERR_CE, ERR_NONE
 
 
@@ -61,6 +62,11 @@ class TridentScheme(Scheme):
         size_b = trace.size_b
         err_class = trace.err_class
 
+        stall_penalty = self.pipeline.stall_penalty
+        flush_penalty = self.pipeline.flush_penalty
+        sink = audit.get()
+        rec = sink.begin_scheme_run(self.name, trace) if sink is not None else None
+
         for j in range(len(trace)):
             key = (
                 int(instr_init[j]),
@@ -77,8 +83,14 @@ class TridentScheme(Scheme):
                 stalls += granted
                 if actual == ERR_NONE:
                     false_positives += 1
+                    if rec is not None:
+                        rec.decision(j, actual, audit.DEC_FALSE_POSITIVE,
+                                     stall=granted, penalty=granted * stall_penalty)
                 elif granted >= needed:
                     predicted += 1
+                    if rec is not None:
+                        rec.decision(j, actual, audit.DEC_PREDICT_HIT,
+                                     stall=granted, penalty=granted * stall_penalty)
                 else:
                     # Predicted an SE, got a CE: the stall was insufficient,
                     # the trailing violation is detected and corrected, and
@@ -88,15 +100,26 @@ class TridentScheme(Scheme):
                     cet.insert(
                         ErrorId(key[0], key[1], key[2], key[3], actual)
                     )
+                    if rec is not None:
+                        rec.decision(
+                            j, actual, audit.DEC_UNDER_STALL, stall=granted,
+                            penalty=granted * stall_penalty + flush_penalty,
+                        )
             elif actual != ERR_NONE:
                 flushes += 1
-                if key in seen:
+                novel = key not in seen
+                if not novel:
                     capacity_misses += 1
                 else:
                     first_occurrences += 1
                     seen.add(key)
                 cet.insert(ErrorId(key[0], key[1], key[2], key[3], actual))
+                if rec is not None:
+                    rec.decision(j, actual, audit.DEC_DETECT,
+                                 penalty=flush_penalty, novel=novel)
 
+        if rec is not None:
+            rec.finish(effective_clock_period=trace.clock_period)
         penalty = stalls * self.pipeline.stall_penalty
         penalty += flushes * self.pipeline.flush_penalty
         errors_total = predicted + flushes

@@ -245,6 +245,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append the structured lifecycle event stream (JSONL) here; "
         "tail it live with the 'progress' subcommand",
     )
+    telemetry.add_argument(
+        "--audit-out",
+        metavar="PATH",
+        help="write the merged cycle-audit stream (.npz) here; inspect it "
+        "with the 'audit' subcommand family",
+    )
+    telemetry.add_argument(
+        "--audit-policy",
+        default="full",
+        metavar="POLICY",
+        help="audit sampling policy: full, window:START:LEN, or "
+        "reservoir:K[:SEED] (default: full)",
+    )
     return parser
 
 
@@ -287,6 +300,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.progress_cli import progress_main
 
         return progress_main(argv[1:])
+    if argv and argv[0] == "audit":
+        from repro.experiments.audit_cli import audit_main
+
+        return audit_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
@@ -359,11 +376,20 @@ def main(argv: list[str] | None = None) -> int:
         args.metrics_out or args.trace_out or args.profile or args.ledger_dir
     )
     events_on = bool(args.events_out)
+    # The cycle audit is its own channel: it never implies telemetry and
+    # never feeds back into the report (byte-identity audit on/off).
+    audit_on = bool(args.audit_out)
+    from repro.obs import audit
+
+    try:
+        audit_policy = audit.SamplePolicy(args.audit_policy).text
+    except ValueError as exc:
+        parser.error(str(exc))
     # Every instrumented run gets a trace id: it stamps recorder spans,
     # rides the WorkerSpec into every worker (local or remote), tags each
     # structured event, and lands in the ledger record — one key linking
     # all the run's artefacts.
-    trace_id = obs.new_trace_id() if (telemetry_on or events_on) else ""
+    trace_id = obs.new_trace_id() if (telemetry_on or events_on or audit_on) else ""
     parent_span_id = obs.new_span_id() if trace_id else None
     recorder = None
     telemetry_dir = None
@@ -382,6 +408,14 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         obs.enable_events(obs.EventLog(args.events_out, trace_id=trace_id))
+    audit_dir = None
+    if audit_on:
+        # Parent and workers all flush shards here; the post-run merge
+        # deduplicates and writes the single --audit-out stream.
+        audit_dir = tempfile.mkdtemp(prefix="repro-audit-")
+        audit.enable(audit.AuditRecorder(
+            policy=audit_policy, shard_dir=audit_dir, trace_id=trace_id,
+        ))
 
     store = None
     if args.checkpoint_dir:
@@ -428,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         trace_id=trace_id or None,
         parent_span_id=parent_span_id,
         events_path=args.events_out if events_on else None,
+        audit_dir=audit_dir,
+        audit_policy=audit_policy if audit_on else None,
     )
     remote_options = None
     if backend_name == "remote":
@@ -485,6 +521,36 @@ def main(argv: list[str] | None = None) -> int:
         obs.disable_events()
         print(f"events written to {args.events_out} ({count} event(s))")
 
+    # Fold the audit shards the same way: parent flush + worker scan,
+    # content-digest dedup, one merged deterministic stream.
+    audit_rollup_doc = None
+    audit_write_failed = False
+    if audit_on:
+        sink = audit.get()
+        if sink is not None:
+            sink.flush()
+        audit.disable()
+        audit_docs, audit_stale = audit.scan_audit_shards(audit_dir)
+        shutil.rmtree(audit_dir, ignore_errors=True)
+        if audit_stale:
+            logger.warning("skipped %d stale audit shard(s)", audit_stale)
+        audit_runs = audit.merge_audit(audit_docs)
+        audit_rollup_doc = audit.audit_rollup(audit_runs)
+        try:
+            audit.write_audit(
+                args.audit_out, audit_runs,
+                trace_id=trace_id, policy=audit_policy,
+            )
+        except OSError as exc:
+            audit_write_failed = True
+            logger.error("could not write audit stream to %s: %s",
+                         args.audit_out, exc)
+            print(f"[audit stream NOT written to {args.audit_out}: {exc}]")
+        else:
+            records = audit_rollup_doc["records"]
+            print(f"audit stream written to {args.audit_out} "
+                  f"({len(audit_runs)} run(s), {records} record(s))")
+
     report_write_failed = False
     if args.out:
         results = report.results
@@ -533,7 +599,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             record = build_record(
                 report=report, metrics_doc=metrics_doc, config=config,
-                trace_id=trace_id,
+                trace_id=trace_id, audit_doc=audit_rollup_doc,
             )
             RunLedger(args.ledger_dir).append(record)
         except OSError as exc:
@@ -567,7 +633,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     for failure in report.failures:
         logger.debug("traceback for %s:\n%s", failure.experiment_id, failure.traceback)
-    if report_write_failed:
+    if report_write_failed or audit_write_failed:
         return 1
     return report.exit_code()
 

@@ -265,6 +265,53 @@ def _fleet_lanes(events: list[dict[str, Any]]) -> str:
     )
 
 
+#: audit decision-timeline columns: (rollup key, column header).
+_AUDIT_COLS = (
+    ("detect", "detect"),
+    ("predict", "predict"),
+    ("false_positive", "false+"),
+    ("avoid", "avoid"),
+    ("under_stall", "under-stall"),
+    ("penalty_cycles", "penalty cyc"),
+)
+
+
+def _audit_panel(rollup: dict[str, Any]) -> str:
+    """Per-scheme decision-timeline panel from the ledger audit rollup.
+
+    Each scheme row shows its decision counts plus the bucketed severity
+    timeline string recorded by :func:`repro.obs.audit.decision_timeline`
+    ('.' quiet, a=avoid, p=predict, f=false-positive, D=detect,
+    U=under-stall) — the cycle-resolved story behind the aggregate
+    counters above it.
+    """
+    schemes = rollup.get("schemes", {}) if rollup else {}
+    if not schemes:
+        return ""
+    head = "".join(f'<th class="num">{html.escape(h)}</th>' for _k, h in _AUDIT_COLS)
+    rows = []
+    for scheme in sorted(schemes):
+        entry = schemes[scheme]
+        cells = "".join(
+            f'<td class="num">{_fmt(float(entry.get(key, 0)))}</td>'
+            for key, _h in _AUDIT_COLS
+        )
+        timeline = html.escape(str(entry.get("timeline", "")))
+        rows.append(
+            f"<tr><td>{html.escape(scheme)}</td>{cells}"
+            f'<td class="metric">{timeline}</td></tr>'
+        )
+    policy = html.escape(str(rollup.get("policy", "full")))
+    records = int(rollup.get("records", 0))
+    return (
+        "<h2>Audit decision timelines (latest run)</h2>"
+        f"<table><thead><tr><th>Scheme</th>{head}<th>Timeline</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>'
+        f'<p class="sub">policy {policy} · {records} record(s) · '
+        "glyphs: a=avoid p=predict f=false-positive D=detect U=under-stall</p>"
+    )
+
+
 def render_dashboard(
     records: list[dict[str, Any]],
     trace_path: str | None = None,
@@ -372,6 +419,7 @@ def render_dashboard(
         "<h2>Per-scheme domain counters (latest run)</h2>",
         f"<table><thead><tr><th>Scheme</th>{scheme_head}</tr></thead>"
         f'<tbody>{"".join(scheme_rows) or _EMPTY_ROW}</tbody></table>',
+        _audit_panel(latest.get("audit", {})),
         fleet_section,
         trace_note,
         '<p class="footer">Generated by <code>python -m repro.experiments '

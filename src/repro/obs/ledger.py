@@ -147,6 +147,7 @@ def build_record(
     run_id: str | None = None,
     notes: str | None = None,
     trace_id: str | None = None,
+    audit_doc: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one ledger record from a run's report + telemetry.
 
@@ -198,6 +199,9 @@ def build_record(
         # links this record to the run's trace/event artefacts ("" for
         # uninstrumented runs and pre-tracing records)
         "trace_id": trace_id or "",
+        # per-scheme decision rollup of the run's cycle-audit stream
+        # (see repro.obs.audit.audit_rollup; {} for unaudited runs)
+        "audit": audit_doc or {},
     }
 
 

@@ -72,6 +72,11 @@ SCHEDULE_DEPENDENT_PREFIXES = (
     "frames.",
     "events.",
     "clock.",
+    # audit.* counters track how many runs/records the audit sink saw in
+    # *this process* — parallel workers re-simulate what a serial run
+    # memoises, so the counts are schedule-dependent (the merged audit
+    # stream itself is deduplicated and schedule-independent).
+    "audit.",
 )
 
 _SHARD_NAME = re.compile(r"^shard-v(\d+)-(\d+)-\d+\.json$")

@@ -165,6 +165,17 @@ def _batch_drift(original):
     return batch_cycle_timings
 
 
+def _audit_drop_rollback(original):
+    from repro.obs.audit import DEC_DETECT
+
+    def decision(self, cycle, err, decision, **kwargs):
+        if decision == DEC_DETECT:
+            return None  # rollback flushes vanish from the flight record
+        return original(self, cycle, err, decision, **kwargs)
+
+    return decision
+
+
 def _razor_offbyone(result, _trace):
     result.flushes = max(0, result.flushes - 1)
 
@@ -232,6 +243,13 @@ MUTANTS: dict[str, Mutant] = {
             target=("repro.core.dcs", "DcsScheme.simulate"),
             build=_result_tweak(_dcs_hide_false_positives),
             oracles=("scheme_conservation",),
+        ),
+        Mutant(
+            name="audit-drop-rollback",
+            description="the flight recorder silently drops rollback (detect) records",
+            target=("repro.obs.audit", "RunRecorder.decision"),
+            build=_audit_drop_rollback,
+            oracles=("audit_vs_result",),
         ),
         Mutant(
             name="dcs-learning-dropped",

@@ -37,6 +37,7 @@ from repro.core.schemes import hfg as hfg_mod
 from repro.core.schemes import ocst as ocst_mod
 from repro.core.schemes import razor as razor_mod
 from repro.core.trident import controller as trident_mod
+from repro.obs import audit
 from repro.obs import trends
 from repro.obs.ledger import LEDGER_VERSION
 from repro.pv import chip as chip_mod
@@ -401,6 +402,51 @@ def _check_scheme_conservation(case: dict[str, int]) -> list[str]:
         if result.total_cycles != result.base_cycles + result.penalty_cycles:
             violations.append(f"{label}: total_cycles identity broken")
         violations.extend(laws(result, trace))
+    return violations
+
+
+def _check_audit_vs_result(case: dict[str, int]) -> list[str]:
+    """Audit-stream conservation: replaying a full (unsampled) audit run
+    must reconstruct every ``SchemeResult`` counter exactly, for all five
+    scheme state machines (six instances: both DCS table organisations).
+    """
+    trace = _random_error_trace(case)
+    capacity = 2 ** case["capacity_log2"]
+    schemes = (
+        razor_mod.RazorScheme(),
+        hfg_mod.HfgScheme(),
+        ocst_mod.OcstScheme(),
+        dcs_mod.DcsScheme("icslt", capacity=capacity),
+        dcs_mod.DcsScheme("acslt", capacity=capacity, associativity=min(4, capacity)),
+        trident_mod.TridentScheme(cet_capacity=capacity),
+    )
+    violations: list[str] = []
+    previous = audit.get()
+    sink = audit.enable(audit.AuditRecorder(policy="full"))
+    try:
+        for scheme in schemes:
+            result = scheme.simulate(trace)
+            run = sink.runs[-1].to_block()
+            if run["scheme"] != result.scheme or not sink.runs[-1].done:
+                violations.append(f"{scheme.name}: audit run missing or unsealed")
+                continue
+            replayed = audit.replay_counters(run)
+            for name, value in replayed.items():
+                actual = getattr(result, name)
+                exact = (
+                    math.isclose(actual, value, rel_tol=0, abs_tol=1e-9)
+                    if isinstance(value, float) else actual == value
+                )
+                if not exact:
+                    violations.append(
+                        f"{scheme.name}: replayed {name}={value!r} "
+                        f"!= result {actual!r}"
+                    )
+    finally:
+        if previous is None:
+            audit.disable()
+        else:
+            audit.enable(previous)
     return violations
 
 
@@ -957,6 +1003,19 @@ ORACLES: dict[str, Oracle] = {
             },
             check=_check_scheme_conservation,
             cost=1.5,
+        ),
+        Oracle(
+            name="audit_vs_result",
+            description="full audit stream reconstructs SchemeResult counters exactly",
+            params={
+                "n": Param(2, 200),
+                "err_rate_pct": Param(0, 60),
+                "ctx_space": Param(0, 5),
+                "capacity_log2": Param(1, 6),
+                "seed": Param(0, 999_999),
+            },
+            check=_check_audit_vs_result,
+            cost=2.0,
         ),
         Oracle(
             name="scheme_learning",

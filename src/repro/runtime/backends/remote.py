@@ -232,7 +232,8 @@ class RemoteBackend(ExecutorBackend):
         # here from protocol traffic.  The trace id stays — it is what
         # stitches the worker's shard into this run's trace.
         shipped = dataclasses.replace(
-            spec, scratch_dir=None, telemetry_dir=None, events_path=None
+            spec, scratch_dir=None, telemetry_dir=None, events_path=None,
+            audit_dir=None,
         )
         spec_blob = pack_pickle(shipped)
         merger = SubmissionOrderMerger(experiment_ids, on_outcome)

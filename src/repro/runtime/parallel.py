@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import audit
 from repro.runtime.checkpoint import CheckpointStore, StoreStats, config_fingerprint
 from repro.runtime.executor import FailureRecord, RunOutcome, RunReport
 from repro.runtime.log import get_logger
@@ -104,6 +105,10 @@ class WorkerSpec:
     #: run event-stream file (None = events off); fork workers append
     #: directly, remote workers get it nulled (the coordinator emits)
     events_path: str | None = None
+    #: parent-managed directory for cycle-audit shards (None = audit off)
+    audit_dir: str | None = None
+    #: audit sampling policy text (full / window:S:L / reservoir:K:SEED)
+    audit_policy: str | None = None
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +125,9 @@ def _worker_context(spec: WorkerSpec):
         trace_id=spec.trace_id or "",
     )
     obs.ensure_worker_events(spec.events_path, trace_id=spec.trace_id or "")
+    audit.ensure_worker(
+        spec.audit_dir, policy=spec.audit_policy, trace_id=spec.trace_id or "",
+    )
     store = None
     if spec.checkpoint_dir:
         store = CheckpointStore(
@@ -215,6 +223,7 @@ def _run_experiment_task(
         return outcome, stats
     finally:
         obs.flush_worker()
+        audit.flush_worker()
 
 
 def _prefetch_task(
@@ -241,6 +250,7 @@ def _prefetch_task(
         return ctx.store.stats.as_dict() if ctx.store is not None else None
     finally:
         obs.flush_worker()
+        audit.flush_worker()
 
 
 # ----------------------------------------------------------------------

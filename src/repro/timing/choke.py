@@ -61,6 +61,30 @@ class ChokeEvent:
     def num_choke_gates(self) -> int:
         return len(self.choke_gate_ids)
 
+    def resolve_gates(self, netlist) -> tuple[str, ...]:
+        """Human-readable labels for the choke gates: ``name[KIND]@L<n>``.
+
+        ``netlist`` is the :class:`~repro.gates.netlist.Netlist` the event
+        was analysed on (``circuit.netlist``); unnamed nodes fall back to
+        the ``n<id>`` convention of :meth:`Netlist.name_of`.  Used by the
+        ``audit why`` CLI so blame lines print gate identities instead of
+        raw node indices.
+        """
+        levels = netlist.levels()
+        return tuple(
+            f"{netlist.name_of(node_id)}[{netlist.kind(node_id).name}]"
+            f"@L{int(levels[node_id])}"
+            for node_id in self.choke_gate_ids
+        )
+
+    def blame_line(self, netlist) -> str:
+        """One-line provenance summary: category, CDL, and gate labels."""
+        gates = ", ".join(self.resolve_gates(netlist))
+        return (
+            f"{self.category} (+{self.cdl_percent:.1f}% over nominal, "
+            f"{self.num_choke_gates} gate(s)): {gates}"
+        )
+
 
 def choke_gates_on_path(
     path: Path, chip: ChipSample, ratio_threshold: float = 1.5

@@ -52,6 +52,21 @@ def test_forced_choke_event_detected():
     assert event.path.nodes[0] == fx.b
 
 
+def test_resolve_gates_and_blame_line_name_the_planted_gate():
+    fx = forced_choke_chip()
+    event = analyze_choke_event(
+        fx.circuit, fx.chip, np.array([0, 0, 1]), np.array([0, 1, 1]),
+        fx.nominal_critical,
+    )
+    labels = event.resolve_gates(fx.netlist)
+    assert len(labels) == event.num_choke_gates == 1
+    # gate name + cell kind + levelised depth, e.g. "n8[BUF]@L2"
+    assert labels[0].startswith(f"{fx.netlist.name_of(fx.choke_gate)}[BUF]@L")
+    line = event.blame_line(fx.netlist)
+    assert line.startswith("CDL_H (+140.0% over nominal, 1 gate(s)): ")
+    assert labels[0] in line
+
+
 def test_no_event_when_nothing_toggles():
     fx = forced_choke_chip()
     prev = np.array([1, 1, 1])
