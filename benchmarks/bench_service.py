@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Measure service-path overhead: submit-to-first-byte and dedup hits.
+
+Boots the simulation service in-process (``ServiceThread``) against a
+throwaway state dir and times the two quantities a service user feels:
+
+* **submit-to-first-byte** — wall seconds from ``POST /jobs`` until the
+  first SSE frame of the job's live event stream arrives.  This is the
+  scheduling + event-plumbing overhead in front of the simulation
+  itself, so the leg uses a small fast-config run.
+* **dedup-hit throughput** — identical resubmissions served from the
+  report store (no recompute).  Each round trip is a submit (born-done
+  dedup job) plus a full report fetch, so the number is end-to-end
+  requests/second through the HTTP layer, not a cache microbenchmark.
+
+The CI gate watches both warn-only (``check_regression.py --service``)
+against the baseline's ``service`` watermarks; correctness of the served
+bytes is enforced elsewhere (the ``service_vs_cli`` oracle and the CI
+``cmp`` gate), so this file measures cost only.
+
+Usage::
+
+    python benchmarks/bench_service.py
+    python benchmarks/bench_service.py --cycles 200 --json BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import ServiceThread  # noqa: E402
+
+DEFAULT_CYCLES = 200
+DEFAULT_DEDUP_ROUNDS = 50
+DEFAULT_EXPERIMENT = "fig3_4"
+
+
+def time_submit_to_first_byte(client: ServiceClient, request: dict) -> tuple[float, str]:
+    """Seconds from POST /jobs until the first SSE frame arrives."""
+    start = time.perf_counter()
+    doc = client.submit(**request)
+    for _event in client.events(doc["id"]):
+        return time.perf_counter() - start, doc["id"]
+    raise RuntimeError(f"job {doc['id']}: event stream ended without a frame")
+
+
+def time_dedup_hits(client: ServiceClient, request: dict, rounds: int) -> dict:
+    """End-to-end submit+fetch round trips served from the report store."""
+    start = time.perf_counter()
+    report_bytes = 0
+    for _ in range(rounds):
+        doc = client.submit(**request)
+        if doc["disposition"] != "dedup_hit":
+            raise RuntimeError(
+                f"expected a dedup hit, got {doc['disposition']!r} "
+                f"(job {doc['id']}, state {doc['state']})"
+            )
+        report_bytes = len(client.report(doc["id"]))
+    elapsed = time.perf_counter() - start
+    return {
+        "rounds": rounds,
+        "wall_s": round(elapsed, 4),
+        "rps": round(rounds / elapsed, 2) if elapsed else None,
+        "report_bytes": report_bytes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
+                        help="trace length for the timed job (fast config)")
+    parser.add_argument("--experiment", default=DEFAULT_EXPERIMENT)
+    parser.add_argument("--dedup-rounds", type=int,
+                        default=DEFAULT_DEDUP_ROUNDS)
+    parser.add_argument("--json", help="also write the numbers to this file")
+    args = parser.parse_args(argv)
+
+    request = {
+        "experiments": [args.experiment],
+        "fast": True,
+        "fmt": "json",
+        "cycles": args.cycles,
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as state_dir:
+        service = ServiceThread(state_dir)
+        try:
+            client = ServiceClient(port=service.port)
+            first_byte_s, job_id = time_submit_to_first_byte(client, request)
+            done = client.wait(job_id)
+            if done["state"] != "done":
+                raise RuntimeError(f"timed job failed: {done.get('error')}")
+            dedup = time_dedup_hits(client, request, args.dedup_rounds)
+            stats = client.stats()
+        finally:
+            service.stop()
+
+    print(f"submit_first_byte wall={first_byte_s:7.3f}s "
+          f"(experiment {args.experiment}, cycles {args.cycles})", flush=True)
+    print(f"dedup_hit         wall={dedup['wall_s']:7.3f}s "
+          f"rps={dedup['rps']:g} over {dedup['rounds']} round trips "
+          f"({dedup['report_bytes']} report bytes each)", flush=True)
+
+    payload = {
+        "experiment": args.experiment,
+        "cycles": args.cycles,
+        "cpu_count": os.cpu_count(),
+        "submit_first_byte_s": round(first_byte_s, 4),
+        "dedup_hit_rps": dedup["rps"],
+        "dedup": dedup,
+        "counters": stats["counters"],
+    }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"service numbers written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

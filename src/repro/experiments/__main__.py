@@ -68,6 +68,7 @@ from dataclasses import replace
 from repro import obs
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.reportio import atomic_write_text, render_report
 from repro.runtime import (
     CheckpointStore,
     RunOutcome,
@@ -261,24 +262,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _atomic_write_text(path: str, payload: str) -> None:
-    """Write via a temp file in the target directory + ``os.replace``.
-
-    An interrupted run can therefore never leave a truncated report: the
-    previous file (if any) survives intact until the new one is complete.
-    """
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".report-", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+# kept as an alias: ledger_cli and older callers import it from here
+_atomic_write_text = atomic_write_text
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -304,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.audit_cli import audit_main
 
         return audit_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from repro.service.cli import client_main
+
+        return client_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose)
@@ -553,17 +546,9 @@ def main(argv: list[str] | None = None) -> int:
 
     report_write_failed = False
     if args.out:
-        results = report.results
-        if args.format == "json":
-            payload = json.dumps([r.to_dict() for r in results], indent=2)
-        elif args.format == "csv":
-            payload = "".join(r.to_csv() for r in results)
-        else:
-            payload = "\n\n".join(r.to_text() for r in results) + "\n"
-            if report.failures:
-                payload += "\n" + report.summary_text() + "\n"
+        payload = render_report(report, args.format)
         try:
-            _atomic_write_text(args.out, payload)
+            atomic_write_text(args.out, payload)
         except OSError as exc:
             report_write_failed = True
             logger.error("could not write report to %s: %s", args.out, exc)

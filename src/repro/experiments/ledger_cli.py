@@ -153,13 +153,13 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_html(args: argparse.Namespace) -> int:
-    from repro.experiments.__main__ import _atomic_write_text
+    from repro.experiments.reportio import atomic_write_text
 
     records = RunLedger(args.ledger_dir).records()
     payload = dashboard.render_dashboard(
         records, trace_path=args.trace, events_path=args.events
     )
-    _atomic_write_text(args.out, payload)
+    atomic_write_text(args.out, payload)
     print(f"dashboard written to {args.out} "
           f"({len(records)} run(s), {len(payload)} bytes)")
     return 0

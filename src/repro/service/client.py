@@ -1,0 +1,170 @@
+"""Thin stdlib HTTP client for the service.
+
+Built on :class:`http.client.HTTPConnection` (one connection per
+request — the server is ``Connection: close``) so the CLI, the test
+suite, the QA oracle, and the CI smoke all consume the service exactly
+the way an external user would: over the wire, no shortcuts through
+the job table.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+
+class ServiceError(Exception):
+    """A non-2xx response; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint (``host:port``) as a Python object."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, bytes, str]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, data, response.getheader("Content-Type", "")
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: dict[str, Any] | None = None) -> dict[str, Any]:
+        status, data, _ = self._request(method, path, body)
+        try:
+            doc = json.loads(data.decode())
+        except (ValueError, UnicodeDecodeError):
+            doc = {"error": data.decode(errors="replace")[:200]}
+        if status >= 400:
+            raise ServiceError(status, doc.get("error", "unknown error"))
+        return doc
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def submit(self, experiments: list[str], fast: bool = True,
+               fmt: str = "json", cycles: int | None = None,
+               width: int | None = None) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "experiments": experiments, "fast": fast, "format": fmt,
+        }
+        if cycles is not None:
+            body["cycles"] = cycles
+        if width is not None:
+            body["width"] = width
+        return self._json("POST", "/jobs", body)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def report(self, job_id: str) -> bytes:
+        """The raw report bytes — never re-encoded, for byte-identity."""
+        status, data, _ = self._request("GET", f"/jobs/{job_id}/report")
+        if status >= 400:
+            try:
+                message = json.loads(data.decode()).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = data.decode(errors="replace")[:200]
+            raise ServiceError(status, message)
+        return data
+
+    def why(self, job_id: str, cycle: int, experiment: str | None = None,
+            benchmark: str = "mcf", corner: str = "NTC") -> dict[str, Any]:
+        path = (f"/jobs/{job_id}/why?cycle={cycle}"
+                f"&benchmark={benchmark}&corner={corner}")
+        if experiment:
+            path += f"&experiment={experiment}"
+        return self._json("GET", path)
+
+    def ledger(self, limit: int | None = None) -> dict[str, Any]:
+        path = "/ledger" + (f"?limit={limit}" if limit is not None else "")
+        return self._json("GET", path)
+
+    def ledger_diff(self, run_a: str, run_b: str) -> dict[str, Any]:
+        return self._json("GET", f"/ledger/diff?a={run_a}&b={run_b}")
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.1) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the doc."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str,
+               timeout_s: float = 300.0) -> Iterator[dict[str, Any]]:
+        """The job's SSE stream, decoded frame by frame.
+
+        Yields each ``data:`` payload as a dict; the final frame is the
+        server's ``event: done`` notification, yielded as
+        ``{"__done__": {...}}`` so callers can tell stream-end from an
+        ordinary event.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout_s
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data.decode()).get("error", "")
+                except (ValueError, UnicodeDecodeError):
+                    message = ""
+                raise ServiceError(response.status, message)
+            event_name = ""
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    event_name = ""
+                    continue
+                if line.startswith(b"event:"):
+                    event_name = line[len(b"event:"):].strip().decode()
+                    continue
+                if not line.startswith(b"data:"):
+                    continue
+                try:
+                    payload = json.loads(line[len(b"data:"):].strip())
+                except ValueError:
+                    continue
+                if event_name == "done":
+                    yield {"__done__": payload}
+                    return
+                yield payload
+        finally:
+            conn.close()

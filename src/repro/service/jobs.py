@@ -1,0 +1,364 @@
+"""The persistent job table: dedup, single-flight, crash-safe journal.
+
+A *job* is one experiment request — a configuration, an ordered list of
+experiment ids, and a report format.  The table's contract:
+
+* **Dedup by request digest.**  :func:`request_digest` fingerprints the
+  complete request (config knobs + experiment ids in order + format).
+  A submission whose digest matches a completed job with its report
+  still in the store is recorded as an immediately-``done`` job pointing
+  at the same report bytes — no recompute (``dedup_hits`` counts these).
+* **Single-flight coalescing.**  A submission whose digest matches a
+  job that is still queued or running returns *that* job — concurrent
+  duplicates ride the same execution (``dedup_joined`` counts these).
+* **No job is ever silently lost.**  Every submission and every state
+  transition is one crash-safe JSONL append
+  (:func:`repro.obs.ledger.append_jsonl_line`) to ``jobs.jsonl``.  Boot
+  recovery folds the journal; jobs the previous process left queued or
+  running are blamed with a ``FailureRecord``-shaped payload of kind
+  ``"lost"``, and a graceful shutdown blames its unfinished jobs with
+  kind ``"shutdown"`` — either way the journal says what happened.
+
+Report bytes live in ``reports/<digest>.<ext>`` (content keyed by the
+request digest, so a dedup hit serves the exact bytes the original run
+wrote), and each executed job's structured event stream lives in
+``jobs/<id>/events.jsonl`` for the SSE tail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS
+from repro.obs.events import iter_events
+from repro.obs.ledger import append_jsonl_line
+from repro.runtime.checkpoint import config_fingerprint
+
+#: the job lifecycle; ``failed`` means the *machinery* broke (shutdown,
+#: lost, exception) — a run whose experiments failed still reaches
+#: ``done`` with its report, exactly like the CLI's non-zero exit path.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: journal file inside a service state directory.
+JOBS_FILENAME = "jobs.jsonl"
+
+#: report-format -> file extension in the report store.
+_FORMAT_EXT = {"text": "txt", "json": "json", "csv": "csv"}
+
+
+def request_digest(config: ExperimentConfig, experiments: list[str] | tuple[str, ...],
+                   fmt: str) -> str:
+    """Fingerprint of the *complete* request.
+
+    The ledger's ``config_digest`` alone is not a dedup key — two
+    requests with the same knobs but different experiment lists (or a
+    different report format) must never serve each other's bytes — so
+    the digest covers config + ordered ids + format.
+    """
+    return config_fingerprint({
+        "config": dataclasses.asdict(config),
+        "experiments": list(experiments),
+        "format": fmt,
+    })
+
+
+@dataclass
+class Job:
+    """One submitted experiment request and its lifecycle state."""
+
+    id: str
+    digest: str
+    experiments: tuple[str, ...]
+    fmt: str
+    config: dict[str, Any]
+    state: str = "queued"
+    created_ts: float = 0.0
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    #: id of the executed job whose report this one reuses (dedup hits).
+    dedup_of: str | None = None
+    #: FailureRecord-shaped blame dict when state == "failed".
+    error: dict[str, Any] | None = None
+    #: run-summary numbers once done: {"ok": N, "total": M}.
+    summary: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["experiments"] = list(self.experiments)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Job":
+        doc = dict(doc)
+        doc["experiments"] = tuple(doc.get("experiments", ()))
+        return cls(**doc)
+
+
+def normalize_request(payload: dict[str, Any]) -> tuple[ExperimentConfig, tuple[str, ...], str]:
+    """Validate and canonicalise one submit payload.
+
+    Accepts the CLI's vocabulary — ``experiments`` (ids or ``"all"``),
+    ``fast``, ``cycles``/``width`` overrides, ``format`` — and returns
+    the same ``(config, ids, fmt)`` the CLI would run, so the request
+    digest is a function of *what would execute*, not of request
+    spelling.  Raises ``ValueError`` on anything malformed (the server
+    maps that to a 400).
+    """
+    from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG
+
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    raw_ids = payload.get("experiments")
+    if not isinstance(raw_ids, list) or not raw_ids:
+        raise ValueError("'experiments' must be a non-empty list of ids")
+    if any(not isinstance(i, str) for i in raw_ids):
+        raise ValueError("'experiments' entries must be strings")
+    ids = tuple(EXPERIMENTS) if "all" in raw_ids else tuple(raw_ids)
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            raise ValueError(f"unknown experiment {experiment_id!r}")
+    fmt = payload.get("format", "json")
+    if fmt not in _FORMAT_EXT:
+        raise ValueError(f"unknown format {fmt!r} (known: {tuple(_FORMAT_EXT)})")
+    config = FAST_CONFIG if payload.get("fast", True) else DEFAULT_CONFIG
+    overrides = {}
+    for knob in ("cycles", "width"):
+        value = payload.get(knob)
+        if value is None:
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"'{knob}' must be an integer")
+        overrides[knob] = value
+    try:
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+    except ValueError as exc:
+        raise ValueError(f"invalid configuration: {exc}") from exc
+    unknown = set(payload) - {"experiments", "fast", "cycles", "width", "format"}
+    if unknown:
+        raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+    return config, ids, fmt
+
+
+class JobTable:
+    """Thread-safe persistent job store under one state directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "reports").mkdir(exist_ok=True)
+        (self.root / "jobs").mkdir(exist_ok=True)
+        self.path = self.root / JOBS_FILENAME
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        self.counters: dict[str, int] = {
+            "submitted": 0,
+            "executed": 0,
+            "dedup_hits": 0,
+            "dedup_joined": 0,
+            "failed": 0,
+            "recovered_lost": 0,
+        }
+        self._recover()
+
+    # -- paths ---------------------------------------------------------
+    def report_path(self, digest: str, fmt: str) -> Path:
+        return self.root / "reports" / f"{digest}.{_FORMAT_EXT[fmt]}"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / job_id / "events.jsonl"
+
+    # -- boot recovery -------------------------------------------------
+    def _recover(self) -> None:
+        """Fold the journal; blame interrupted jobs as kind="lost"."""
+        for record in iter_events(self.path):
+            kind = record.get("kind")
+            if kind == "job":
+                try:
+                    job = Job.from_dict(record["job"])
+                except (KeyError, TypeError):
+                    continue
+                self._jobs[job.id] = job
+                if job.dedup_of is not None:
+                    self.counters["dedup_hits"] += 1
+            elif kind == "state":
+                job = self._jobs.get(record.get("id", ""))
+                if job is None or record.get("state") not in JOB_STATES:
+                    continue
+                job.state = record["state"]
+                job.started_ts = record.get("started_ts", job.started_ts)
+                job.finished_ts = record.get("finished_ts", job.finished_ts)
+                job.error = record.get("error", job.error)
+                job.summary = record.get("summary", job.summary)
+        self.counters["submitted"] = len(self._jobs)
+        for job in self._jobs.values():
+            if job.state == "done" and job.dedup_of is None:
+                self.counters["executed"] += 1
+            elif job.state == "failed":
+                self.counters["failed"] += 1
+            elif job.state in ("queued", "running"):
+                # the previous process died with this job in flight;
+                # never silently lose it — blame it on the record.
+                self._transition_locked(
+                    job,
+                    "failed",
+                    error={
+                        "experiment_id": "*",
+                        "kind": "lost",
+                        "error_type": "ServiceRestart",
+                        "message": f"job was {job.state} when the service "
+                                   f"process exited",
+                        "traceback": "",
+                        "config_fingerprint": job.digest,
+                        "elapsed_s": 0.0,
+                        "attempts": 1,
+                    },
+                )
+                self.counters["failed"] += 1
+                self.counters["recovered_lost"] += 1
+        if self._jobs:
+            self._seq = max(
+                (int(job_id[1:]) for job_id in self._jobs
+                 if job_id[0] == "j" and job_id[1:].isdigit()),
+                default=0,
+            )
+
+    # -- journal -------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        append_jsonl_line(self.path, record)
+
+    def _transition_locked(self, job: Job, state: str, **fields: Any) -> None:
+        job.state = state
+        record: dict[str, Any] = {
+            "kind": "state", "id": job.id, "state": state,
+            "ts": round(time.time(), 6),
+        }
+        for key, value in fields.items():
+            if value is not None:
+                setattr(job, key, value)
+                record[key] = value
+        self._append(record)
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self, config: ExperimentConfig, experiments: tuple[str, ...], fmt: str
+    ) -> tuple[Job, str]:
+        """Register one request; returns ``(job, disposition)``.
+
+        Disposition is ``"queued"`` (fresh work), ``"dedup_hit"`` (done
+        job with live report reused — the returned job is *new* but born
+        ``done``), or ``"joined"`` (an in-flight job with the same
+        digest is returned — single-flight).
+        """
+        digest = request_digest(config, experiments, fmt)
+        with self._lock:
+            # single-flight: an identical request already in flight
+            for job in self._jobs.values():
+                if job.digest == digest and job.state in ("queued", "running"):
+                    self.counters["dedup_joined"] += 1
+                    return job, "joined"
+            # dedup: an identical request already completed with its
+            # report bytes still in the store
+            done = self._find_done_locked(digest)
+            self._seq += 1
+            job = Job(
+                id=f"j{self._seq:05d}",
+                digest=digest,
+                experiments=tuple(experiments),
+                fmt=fmt,
+                config=dataclasses.asdict(config),
+                created_ts=round(time.time(), 6),
+            )
+            disposition = "queued"
+            if done is not None:
+                job.state = "done"
+                job.finished_ts = job.created_ts
+                job.dedup_of = done.dedup_of or done.id
+                job.summary = dict(done.summary)
+                self.counters["dedup_hits"] += 1
+                disposition = "dedup_hit"
+            self._jobs[job.id] = job
+            self.counters["submitted"] += 1
+            self._append({"kind": "job", "job": job.to_dict()})
+            return job, disposition
+
+    def _find_done_locked(self, digest: str) -> Job | None:
+        for job in self._jobs.values():
+            if (
+                job.state == "done"
+                and job.digest == digest
+                and self.report_path(digest, job.fmt).exists()
+            ):
+                return job
+        return None
+
+    # -- lifecycle -----------------------------------------------------
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            self._transition_locked(job, "running",
+                                    started_ts=round(time.time(), 6))
+
+    def mark_done(self, job_id: str, summary: dict[str, int]) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            self.counters["executed"] += 1
+            self._transition_locked(job, "done",
+                                    finished_ts=round(time.time(), 6),
+                                    summary=summary)
+
+    def mark_failed(self, job_id: str, error: dict[str, Any]) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            self.counters["failed"] += 1
+            self._transition_locked(job, "failed",
+                                    finished_ts=round(time.time(), 6),
+                                    error=error)
+
+    def blame_shutdown(self, job_id: str) -> None:
+        """Graceful-shutdown blame for a job that never got to run."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state not in ("queued", "running"):
+                return
+            self.counters["failed"] += 1
+            self._transition_locked(
+                job,
+                "failed",
+                finished_ts=round(time.time(), 6),
+                error={
+                    "experiment_id": "*",
+                    "kind": "shutdown",
+                    "error_type": "ServiceShutdown",
+                    "message": "service shut down before the job finished",
+                    "traceback": "",
+                    "config_fingerprint": job.digest,
+                    "elapsed_s": 0.0,
+                    "attempts": 1,
+                },
+            )
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            states: dict[str, int] = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {"counters": dict(self.counters), "states": states}

@@ -90,6 +90,42 @@ def test_truncated_last_line_is_tolerated_and_repaired(tmp_path):
     assert [r["run_id"] for r in ledger.records()] == ["ok0", "ok2"]
 
 
+def test_reader_tolerates_concurrent_service_appends(tmp_path):
+    """A ledger CLI reader racing the service's appender sees only
+    whole records, in order — never a torn or duplicated one.
+
+    This is the contract the service layer leans on: ``GET /ledger``
+    and ``ledger list`` read while the job runner appends through the
+    same ``O_APPEND`` one-line-per-write path.
+    """
+    import threading
+
+    ledger = RunLedger(tmp_path)
+    expected_keys = set(make_record())
+    stop = threading.Event()
+    torn: list[dict] = []
+
+    def reader():
+        while not stop.is_set():
+            for i, record in enumerate(ledger.records()):
+                # every observed record is complete and in append order
+                if set(record) != expected_keys or record["run_id"] != f"r{i}":
+                    torn.append(record)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for i in range(150):
+            ledger.append(make_record(run_id=f"r{i}"))
+    finally:
+        stop.set()
+        thread.join(timeout=60)
+    assert torn == []
+    assert [r["run_id"] for r in ledger.records()] == [
+        f"r{i}" for i in range(150)
+    ]
+
+
 def test_prune_is_atomic_and_keeps_newest(tmp_path):
     ledger = RunLedger(tmp_path)
     for i in range(5):
